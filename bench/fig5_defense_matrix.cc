@@ -1,0 +1,102 @@
+// Reproduces Fig. 5: the defense-mechanism comparison matrix — for each
+// mechanism, whether it stops all control-flow hijacks (measured against the
+// full RIPE-style matrix) and its average performance overhead (measured on
+// the SPEC workload models).
+//
+// Expected shape, matching the figure's right-hand columns:
+//   memory safety (SoftBound) : stops all, huge overhead
+//   CPI                       : stops all, single-digit overhead
+//   CPS                       : stops all matrix attacks, ~2%
+//   SafeStack                 : return addresses only, ~0%
+//   stack cookies             : contiguous ret smashes only, ~0-2%
+//   CFI (coarse)              : bypassable, moderate overhead
+#include <cstdio>
+
+#include "src/attacks/ripe.h"
+#include "src/support/stats.h"
+#include "src/support/table.h"
+#include "src/workloads/measure.h"
+
+namespace {
+
+using cpi::core::Config;
+using cpi::core::Protection;
+
+struct Row {
+  Protection protection;
+  const char* property;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 5 — control-flow hijack defense mechanisms\n\n");
+
+  const Row rows[] = {
+      {Protection::kSoftBound, "Memory Safety"},
+      {Protection::kCpi, "Code-Pointer Integrity"},
+      {Protection::kCps, "Code-Pointer Separation"},
+      {Protection::kSafeStack, "Safe Stack"},
+      {Protection::kStackCookies, "Stack cookies"},
+      {Protection::kCfi, "Control-Flow Integrity"},
+  };
+
+  // Measure overheads on a representative subset (full SPEC set under
+  // SoftBound is slow and partially unrunnable; use the Table 3 approach).
+  const std::vector<std::string> subset = {"401.bzip2", "447.dealII", "458.sjeng",
+                                           "464.h264ref"};
+  std::vector<cpi::workloads::Workload> workloads;
+  for (const auto& name : subset) {
+    workloads.push_back(*cpi::workloads::FindWorkload(name));
+  }
+
+  cpi::Table table({"Mechanism", "Stops all control-flow hijacks?", "Avg overhead"});
+  for (const Row& row : rows) {
+    Config config;
+    config.protection = row.protection;
+
+    int hijacked = 0;
+    int total = 0;
+    for (const auto& r : cpi::attacks::RunAttackMatrix(config)) {
+      ++total;
+      if (r.Hijacked()) {
+        ++hijacked;
+      }
+    }
+
+    std::vector<double> overheads;
+    bool any_failed = false;
+    for (const auto& w : workloads) {
+      Config vanilla;
+      auto base_module = w.build(1);
+      auto base = cpi::core::InstrumentAndRun(*base_module, vanilla, w.input);
+      auto module = w.build(1);
+      auto r = cpi::core::InstrumentAndRun(*module, config, w.input);
+      if (r.status != cpi::vm::RunStatus::kOk) {
+        any_failed = true;
+        continue;
+      }
+      overheads.push_back(cpi::OverheadPercent(static_cast<double>(r.counters.cycles),
+                                               static_cast<double>(base.counters.cycles)));
+    }
+
+    std::string verdict = hijacked == 0
+                              ? "Yes"
+                              : "No: " + std::to_string(hijacked) + "/" +
+                                    std::to_string(total) + " attacks still hijack";
+    std::string overhead = overheads.empty()
+                               ? "n/a"
+                               : cpi::Table::FormatPercent(cpi::Mean(overheads));
+    if (any_failed) {
+      overhead += " (some fail)";
+    }
+    table.AddRow({row.property, verdict, overhead});
+  }
+  table.Print();
+
+  std::printf("\nPaper reference (Fig. 5 avg overheads): memory safety 116%%, CPI 8.4%%,\n"
+              "CPS 1.9%%, SafeStack ~0%%, cookies ~2%%, CFI 20%%. Only memory safety and\n"
+              "CPI stop all hijacks; CPS stops all attacks in practice (all matrix\n"
+              "attacks here); cookies/CFI are bypassed.\n");
+  return 0;
+}

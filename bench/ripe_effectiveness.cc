@@ -1,0 +1,50 @@
+// Reproduces §5.1: effectiveness on the RIPE-style attack matrix.
+//
+// Expected shape: the vanilla build is hijacked by (nearly) all attacks;
+// stack cookies stop only contiguous return-address smashes; coarse CFI is
+// bypassed by its valid-set targets; the safe stack stops all return-address
+// attacks; CPS and CPI stop everything (the paper's "Levee deterministically
+// prevents all attacks, both in CPS and CPI mode").
+#include <cstdio>
+
+#include "src/attacks/ripe.h"
+#include "src/support/table.h"
+
+int main() {
+  using cpi::attacks::AttackOutcome;
+  using cpi::core::Config;
+  using cpi::core::Protection;
+
+  const auto specs = cpi::attacks::GenerateAttackMatrix();
+  std::printf("RIPE-style attack matrix: %zu attack combinations\n\n", specs.size());
+
+  cpi::Table table({"Protection", "Hijacked", "Prevented", "Crashed", "No effect"});
+  const Protection configs[] = {Protection::kNone,         Protection::kStackCookies,
+                                Protection::kCfi,          Protection::kSafeStack,
+                                Protection::kCps,          Protection::kCpi};
+  for (Protection p : configs) {
+    Config config;
+    config.protection = p;
+    int counts[4] = {0, 0, 0, 0};
+    for (const auto& r : cpi::attacks::RunAttackMatrix(config)) {
+      ++counts[static_cast<int>(r.outcome)];
+    }
+    table.AddRow({cpi::core::ProtectionName(p), std::to_string(counts[0]),
+                  std::to_string(counts[1]), std::to_string(counts[2]),
+                  std::to_string(counts[3])});
+  }
+  table.Print();
+
+  std::printf("\nDetailed CFI bypasses (the [19,15,9]-style attacks):\n");
+  Config cfi;
+  cfi.protection = Protection::kCfi;
+  for (const auto& r : cpi::attacks::RunAttackMatrix(cfi)) {
+    if (r.Hijacked()) {
+      std::printf("  HIJACKED under CFI: %s\n", r.spec.Name().c_str());
+    }
+  }
+
+  std::printf("\nPaper reference: vanilla Ubuntu 6.06 833-848/850 exploits succeed;\n"
+              "with CPS or CPI, none do. Expect 0 hijacks for cps and cpi rows.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: compile a C program with a classic function-pointer overflow,
+// run it unprotected (hijacked), then rebuild with -fcpi (safe).
+//
+//   $ ./examples/example_quickstart
+#include <cstdio>
+
+#include "src/core/levee.h"
+#include "src/frontend/compile.h"
+#include "src/vm/machine.h"
+
+int main() {
+  const char* source = R"(
+    // A web server's callback registry: name buffer followed by the handler.
+    struct route { char path[16]; void (*handler)(); };
+    struct route table[1];
+
+    void serve_index()  { output(200); }
+    void debug_shell()  { output(31337); }   // the function attackers want
+
+    int main() {
+      table[0].handler = serve_index;
+      char request[64];
+      input_bytes(request, 64);
+      strcpy(table[0].path, request);        // classic unbounded copy
+      table[0].handler();
+      return 0;
+    }
+  )";
+
+  auto compiled = cpi::frontend::CompileC(source, "quickstart");
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile error: %s\n", compiled.error.c_str());
+    return 1;
+  }
+
+  // Craft the exploit the way RIPE does: padding up to the handler field,
+  // then the address of debug_shell (the program layout is known, as a
+  // binary's layout is to an attacker).
+  const cpi::vm::ProgramLayout layout = cpi::vm::ComputeProgramLayout(*compiled.module);
+  const uint64_t target =
+      layout.CodeAddress(compiled.module->FindFunction("debug_shell"));
+  cpi::core::Input exploit;
+  exploit.bytes.assign(16, 'A');
+  for (int i = 0; i < 8; ++i) {
+    exploit.bytes.push_back(static_cast<uint8_t>(target >> (8 * i)));
+  }
+  exploit.bytes.push_back(0);
+
+  std::printf("== vanilla build ==\n");
+  {
+    auto module = cpi::frontend::CompileC(source, "quickstart").module;
+    cpi::core::Config config;  // Protection::kNone
+    auto r = cpi::core::InstrumentAndRun(*module, config, exploit);
+    std::printf("status: %s, output:", cpi::vm::RunStatusName(r.status));
+    for (uint64_t v : r.output) {
+      std::printf(" %llu", static_cast<unsigned long long>(v));
+    }
+    std::printf("  %s\n",
+                r.OutputContains(31337) ? "<-- debug_shell executed: HIJACKED" : "");
+  }
+
+  std::printf("\n== rebuilt with -fcpi ==\n");
+  {
+    auto module = cpi::frontend::CompileC(source, "quickstart").module;
+    cpi::core::Config config;
+    config.protection = cpi::core::Protection::kCpi;
+    auto r = cpi::core::InstrumentAndRun(*module, config, exploit);
+    std::printf("status: %s, output:", cpi::vm::RunStatusName(r.status));
+    for (uint64_t v : r.output) {
+      std::printf(" %llu", static_cast<unsigned long long>(v));
+    }
+    std::printf("  %s\n", !r.OutputContains(31337)
+                              ? "<-- handler loaded from the safe store: attack neutralised"
+                              : "");
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Safe-stack escape analysis (§3.2.4).
+//
+// Decides, per alloca, whether every access to the object is statically
+// provably safe — in which case it may live on the safe stack with no runtime
+// checks — or whether it must move to the unsafe stack in regular memory
+// (arrays indexed dynamically, objects whose address escapes the function,
+// etc.). Return addresses and spilled registers always satisfy the criterion
+// and are handled directly by the VM.
+#ifndef CPI_SRC_ANALYSIS_SAFE_STACK_H_
+#define CPI_SRC_ANALYSIS_SAFE_STACK_H_
+
+#include <set>
+
+#include "src/ir/function.h"
+
+namespace cpi::analysis {
+
+struct SafeStackResult {
+  // Allocas that must be placed on the unsafe stack.
+  std::set<const ir::Instruction*> unsafe_allocas;
+  // Total number of allocas seen (safe + unsafe).
+  size_t total_allocas = 0;
+
+  bool NeedsUnsafeFrame() const { return !unsafe_allocas.empty(); }
+};
+
+SafeStackResult AnalyzeSafeStack(const ir::Function& function);
+
+}  // namespace cpi::analysis
+
+#endif  // CPI_SRC_ANALYSIS_SAFE_STACK_H_

@@ -1,0 +1,121 @@
+#include "src/analysis/sensitivity.h"
+
+namespace cpi::analysis {
+
+using ir::ArrayType;
+using ir::PointerType;
+using ir::StructType;
+using ir::Type;
+using ir::TypeKind;
+
+bool Sensitivity::IsSensitive(const Type* type) const {
+  auto it = cache_.find(type);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  std::set<const Type*> visiting;
+  const bool result = Compute(type, visiting);
+  // Only the root query is cached: results for types on a cycle that were
+  // provisionally treated as "not sensitive" (back-edges) must not leak into
+  // the cache, or a later query through a different path could go wrong.
+  cache_[type] = result;
+  return result;
+}
+
+bool Sensitivity::Compute(const Type* type, std::set<const Type*>& visiting) const {
+  if (module_.IsAnnotatedSensitive(type)) {
+    return true;
+  }
+  switch (type->kind()) {
+    case TypeKind::kInt:
+    case TypeKind::kFloat:
+      return false;
+    case TypeKind::kVoid:
+    case TypeKind::kFunction:
+      // void only occurs behind void* (universal); function types only behind
+      // code pointers. Both make the enclosing pointer sensitive.
+      return true;
+    case TypeKind::kPointer: {
+      if (ir::IsUniversalPointer(type)) {
+        return true;
+      }
+      const Type* pointee = static_cast<const PointerType*>(type)->pointee();
+      return Compute(pointee, visiting);
+    }
+    case TypeKind::kArray:
+      return Compute(static_cast<const ArrayType*>(type)->element(), visiting);
+    case TypeKind::kStruct: {
+      const auto* st = static_cast<const StructType*>(type);
+      if (st->is_opaque()) {
+        // The struct body is unknown; the *pointer to it* is universal (and
+        // thus sensitive) but the struct itself contributes nothing here.
+        return false;
+      }
+      // Least fixpoint: a back-edge contributes "not sensitive"; if any other
+      // path reaches a code pointer, the OR still turns the result true.
+      if (!visiting.insert(st).second) {
+        return false;
+      }
+      bool result = false;
+      for (const ir::StructField& f : st->fields()) {
+        if (Compute(f.type, visiting)) {
+          result = true;
+          break;
+        }
+      }
+      visiting.erase(st);
+      return result;
+    }
+  }
+  CPI_UNREACHABLE();
+}
+
+namespace {
+
+bool ContainsCodePointerImpl(const Type* type, std::set<const Type*>& visiting) {
+  switch (type->kind()) {
+    case TypeKind::kInt:
+    case TypeKind::kFloat:
+    case TypeKind::kVoid:
+    case TypeKind::kFunction:
+      return false;
+    case TypeKind::kPointer:
+      return ir::IsCodePointer(type);
+    case TypeKind::kArray:
+      return ContainsCodePointerImpl(static_cast<const ArrayType*>(type)->element(), visiting);
+    case TypeKind::kStruct: {
+      const auto* st = static_cast<const StructType*>(type);
+      if (st->is_opaque() || !visiting.insert(st).second) {
+        return false;
+      }
+      bool result = false;
+      for (const ir::StructField& f : st->fields()) {
+        if (ContainsCodePointerImpl(f.type, visiting)) {
+          result = true;
+          break;
+        }
+      }
+      visiting.erase(st);
+      return result;
+    }
+  }
+  CPI_UNREACHABLE();
+}
+
+}  // namespace
+
+bool ContainsCodePointer(const Type* type) {
+  std::set<const Type*> visiting;
+  return ContainsCodePointerImpl(type, visiting);
+}
+
+bool Sensitivity::IsSensitiveForCps(const Type* type) const {
+  if (ir::IsCodePointer(type)) {
+    return true;
+  }
+  // Universal pointers can hold code pointers at runtime; CPS handles their
+  // loads/stores with the cheap runtime-dispatched variants (§3.3).
+  return ir::IsUniversalPointer(type);
+}
+
+}  // namespace cpi::analysis

@@ -1,0 +1,57 @@
+// Type-based sensitivity classification (§3.2.1, Fig. 7).
+//
+// A type is *sensitive* when memory of that type may (transitively) hold a
+// code pointer:
+//   sensitive(int)    = false
+//   sensitive(void)   = true            (void* is universal)
+//   sensitive(f)      = true            (function types / code pointers)
+//   sensitive(p*)     = universal(p*) || sensitive(p)
+//   sensitive(struct) = OR over field sensitivity
+// plus module-level programmer annotations (§4 "Sensitive data protection").
+//
+// Struct graphs may be cyclic (lists, trees); classification is computed as a
+// least fixpoint: a cycle that never reaches a code pointer or universal
+// pointer is not sensitive.
+#ifndef CPI_SRC_ANALYSIS_SENSITIVITY_H_
+#define CPI_SRC_ANALYSIS_SENSITIVITY_H_
+
+#include <map>
+#include <set>
+
+#include "src/ir/module.h"
+
+namespace cpi::analysis {
+
+class Sensitivity {
+ public:
+  explicit Sensitivity(const ir::Module& module) : module_(module) {}
+
+  // CPI's criterion: may this type transitively reach a code pointer?
+  bool IsSensitive(const ir::Type* type) const;
+
+  // CPS's restricted criterion (§3.3): code pointers themselves, plus
+  // universal pointers (which may hold code pointers at runtime). Pointers
+  // *to* code pointers are NOT included.
+  bool IsSensitiveForCps(const ir::Type* type) const;
+
+  // True when loads/stores of this type must use the universal-pointer
+  // intrinsic variants (runtime-dispatched safe/regular region).
+  static bool IsUniversal(const ir::Type* type) { return ir::IsUniversalPointer(type); }
+
+ private:
+  bool Compute(const ir::Type* type, std::set<const ir::Type*>& visiting) const;
+
+  const ir::Module& module_;
+  mutable std::map<const ir::Type*, bool> cache_;
+};
+
+// True when an object of this type directly embeds code pointers (a function
+// pointer scalar, a struct with a function-pointer member, an array of
+// them...). Unlike the CPI criterion this does NOT recurse through data
+// pointers: it answers "would memcpy'ing this object move code pointers?",
+// which is what CPS's checked memory-transfer handling needs (§3.3).
+bool ContainsCodePointer(const ir::Type* type);
+
+}  // namespace cpi::analysis
+
+#endif  // CPI_SRC_ANALYSIS_SENSITIVITY_H_

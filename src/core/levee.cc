@@ -1,0 +1,87 @@
+#include "src/core/levee.h"
+
+#include "src/ir/verifier.h"
+
+namespace cpi::core {
+
+const char* ProtectionName(Protection p) {
+  switch (p) {
+    case Protection::kNone: return "vanilla";
+    case Protection::kSafeStack: return "safestack";
+    case Protection::kCps: return "cps";
+    case Protection::kCpi: return "cpi";
+    case Protection::kSoftBound: return "softbound";
+    case Protection::kCfi: return "cfi";
+    case Protection::kStackCookies: return "cookies";
+  }
+  CPI_UNREACHABLE();
+}
+
+CompileOutput Compiler::Instrument(ir::Module& module) const {
+  const std::vector<std::string> errors = ir::VerifyModule(module);
+  for (const std::string& e : errors) {
+    std::fprintf(stderr, "module %s: %s\n", module.name().c_str(), e.c_str());
+  }
+  CPI_CHECK(errors.empty());
+
+  CompileOutput out;
+  out.instructions_before = module.InstructionCount();
+
+  analysis::ClassifyOptions copts;
+  copts.char_star_heuristic = config_.char_star_heuristic;
+  copts.cast_dataflow = config_.cast_dataflow;
+  out.stats = analysis::ComputeModuleStats(module, copts);
+
+  instrument::PassOptions popts;
+  popts.char_star_heuristic = config_.char_star_heuristic;
+  popts.cast_dataflow = config_.cast_dataflow;
+  popts.debug_mode = config_.debug_mode;
+  popts.temporal = config_.temporal;
+
+  switch (config_.protection) {
+    case Protection::kNone:
+      instrument::FinalizeModule(module);
+      break;
+    case Protection::kSafeStack:
+      instrument::ApplySafeStack(module);
+      break;
+    case Protection::kCps:
+      instrument::ApplyCps(module, popts);
+      break;
+    case Protection::kCpi:
+      instrument::ApplyCpi(module, popts);
+      break;
+    case Protection::kSoftBound:
+      instrument::ApplySoftBound(module);
+      break;
+    case Protection::kCfi:
+      instrument::ApplyCfi(module);
+      break;
+    case Protection::kStackCookies:
+      instrument::ApplyStackCookies(module);
+      break;
+  }
+
+  out.instructions_after = module.InstructionCount();
+  return out;
+}
+
+vm::RunResult Run(const ir::Module& module, const Config& config, const Input& input) {
+  vm::RunOptions options;
+  options.store = config.store;
+  options.isolation = config.isolation;
+  options.mpx_assist = config.mpx_assist;
+  options.max_steps = config.max_steps;
+  options.seed = config.seed;
+  options.input_words = input.words;
+  options.input_bytes = input.bytes;
+  return vm::Execute(module, options);
+}
+
+vm::RunResult InstrumentAndRun(ir::Module& module, const Config& config, const Input& input) {
+  Compiler compiler(config);
+  compiler.Instrument(module);
+  return Run(module, config, input);
+}
+
+}  // namespace cpi::core

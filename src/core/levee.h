@@ -1,0 +1,93 @@
+// The public facade of the library — the equivalent of the paper's Levee
+// tool (§4): pick a protection configuration, instrument a module, run it.
+//
+//   ir::Module m = ...;                         // or frontend::CompileC(...)
+//   core::Config cfg;
+//   cfg.protection = core::Protection::kCpi;    // -fcpi
+//   core::Compiler compiler(cfg);
+//   compiler.Instrument(m);
+//   vm::RunResult r = core::Run(m, cfg, input);
+//
+// Protection levels map to the paper's flags:
+//   kSafeStack   -fstack-protector-safe   (§3.2.4)
+//   kCps         -fcps                    (§3.3)
+//   kCpi         -fcpi                    (§3.2.2)
+// and the baselines used in the evaluation: SoftBound, coarse CFI, stack
+// cookies.
+#ifndef CPI_SRC_CORE_LEVEE_H_
+#define CPI_SRC_CORE_LEVEE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/classify.h"
+#include "src/instrument/passes.h"
+#include "src/ir/module.h"
+#include "src/vm/machine.h"
+
+namespace cpi::core {
+
+enum class Protection {
+  kNone,          // vanilla build
+  kSafeStack,     // safe stack only
+  kCps,           // code-pointer separation (includes safe stack)
+  kCpi,           // code-pointer integrity (includes safe stack)
+  kSoftBound,     // full-memory-safety baseline
+  kCfi,           // coarse-grained CFI baseline
+  kStackCookies,  // canary baseline
+};
+
+const char* ProtectionName(Protection p);
+
+struct Config {
+  Protection protection = Protection::kNone;
+  runtime::StoreKind store = runtime::StoreKind::kArray;
+  runtime::IsolationKind isolation = runtime::IsolationKind::kSegment;
+  bool debug_mode = false;          // §3.2.2 mirror-and-compare
+  bool temporal = false;            // CETS-style temporal extension
+  bool char_star_heuristic = true;  // §3.2.1
+  bool cast_dataflow = true;        // §3.2.1
+  bool mpx_assist = false;          // §4 MPX projection: free bounds checks
+  uint64_t max_steps = 200'000'000;
+  uint64_t seed = 1;
+};
+
+// Static compilation statistics — Table 2's columns for this module.
+struct CompileOutput {
+  analysis::ModuleStats stats;
+  size_t instructions_before = 0;
+  size_t instructions_after = 0;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(const Config& config) : config_(config) {}
+
+  // Instruments `module` in place according to the configuration; the module
+  // must verify cleanly. Returns static statistics gathered before
+  // instrumentation.
+  CompileOutput Instrument(ir::Module& module) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+struct Input {
+  std::vector<uint64_t> words;
+  std::vector<uint8_t> bytes;
+};
+
+// Executes an (already instrumented) module under `config`'s runtime
+// settings.
+vm::RunResult Run(const ir::Module& module, const Config& config, const Input& input = {});
+
+// Convenience used throughout benches/tests: instrument a freshly built
+// module and run it.
+vm::RunResult InstrumentAndRun(ir::Module& module, const Config& config,
+                               const Input& input = {});
+
+}  // namespace cpi::core
+
+#endif  // CPI_SRC_CORE_LEVEE_H_

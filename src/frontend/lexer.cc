@@ -1,0 +1,298 @@
+#include "src/frontend/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace cpi::frontend {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "<eof>";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer";
+    case TokenKind::kStringLiteral: return "string";
+    case TokenKind::kInt: return "int";
+    case TokenKind::kChar: return "char";
+    case TokenKind::kVoid: return "void";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kStruct: return "struct";
+    case TokenKind::kIf: return "if";
+    case TokenKind::kElse: return "else";
+    case TokenKind::kWhile: return "while";
+    case TokenKind::kFor: return "for";
+    case TokenKind::kReturn: return "return";
+    case TokenKind::kSizeof: return "sizeof";
+    case TokenKind::kMalloc: return "malloc";
+    case TokenKind::kFree: return "free";
+    case TokenKind::kConst: return "const";
+    case TokenKind::kOutput: return "output";
+    case TokenKind::kInput: return "input";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBrace: return "{";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kLBracket: return "[";
+    case TokenKind::kRBracket: return "]";
+    case TokenKind::kSemicolon: return ";";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kArrow: return "->";
+    case TokenKind::kAmp: return "&";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kAssign: return "=";
+    case TokenKind::kEq: return "==";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kAndAnd: return "&&";
+    case TokenKind::kOrOr: return "||";
+    case TokenKind::kNot: return "!";
+    case TokenKind::kPipe: return "|";
+    case TokenKind::kCaret: return "^";
+    case TokenKind::kShl: return "<<";
+    case TokenKind::kShr: return ">>";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokenKind>& Keywords() {
+  static const auto* keywords = new std::map<std::string, TokenKind>{
+      {"int", TokenKind::kInt},       {"char", TokenKind::kChar},
+      {"void", TokenKind::kVoid},     {"float", TokenKind::kFloat},
+      {"struct", TokenKind::kStruct}, {"if", TokenKind::kIf},
+      {"else", TokenKind::kElse},     {"while", TokenKind::kWhile},
+      {"for", TokenKind::kFor},       {"return", TokenKind::kReturn},
+      {"sizeof", TokenKind::kSizeof}, {"malloc", TokenKind::kMalloc},
+      {"free", TokenKind::kFree},     {"const", TokenKind::kConst},
+      {"output", TokenKind::kOutput}, {"input", TokenKind::kInput},
+  };
+  return *keywords;
+}
+
+}  // namespace
+
+bool Lex(const std::string& source, std::vector<Token>* tokens, std::string* error) {
+  tokens->clear();
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto make = [&](TokenKind kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+  auto fail = [&](const std::string& message) {
+    *error = "lex error at line " + std::to_string(line) + ": " + message;
+    return false;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      ++column;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      if (i + 1 >= n) {
+        return fail("unterminated block comment");
+      }
+      i += 2;
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      std::string word = source.substr(start, i - start);
+      auto kw = Keywords().find(word);
+      Token t = make(kw != Keywords().end() ? kw->second : TokenKind::kIdentifier);
+      t.text = std::move(word);
+      tokens->push_back(std::move(t));
+      column += static_cast<int>(i - start);
+      continue;
+    }
+    // Numbers (decimal and hex).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      uint64_t value = 0;
+      if (c == '0' && i + 1 < n && (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        i += 2;
+        while (i < n && std::isxdigit(static_cast<unsigned char>(source[i]))) {
+          const char d = source[i];
+          value = value * 16 +
+                  (std::isdigit(static_cast<unsigned char>(d))
+                       ? static_cast<uint64_t>(d - '0')
+                       : static_cast<uint64_t>(std::tolower(d) - 'a' + 10));
+          ++i;
+        }
+      } else {
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          value = value * 10 + static_cast<uint64_t>(source[i] - '0');
+          ++i;
+        }
+      }
+      Token t = make(TokenKind::kIntLiteral);
+      t.int_value = value;
+      tokens->push_back(std::move(t));
+      column += static_cast<int>(i - start);
+      continue;
+    }
+    // Character literal -> integer token.
+    if (c == '\'') {
+      if (i + 2 >= n) {
+        return fail("unterminated character literal");
+      }
+      char v = source[i + 1];
+      size_t close = i + 2;
+      if (v == '\\') {
+        if (i + 3 >= n) {
+          return fail("unterminated character literal");
+        }
+        switch (source[i + 2]) {
+          case 'n': v = '\n'; break;
+          case 't': v = '\t'; break;
+          case '0': v = '\0'; break;
+          case '\\': v = '\\'; break;
+          case '\'': v = '\''; break;
+          default: return fail("unknown escape in character literal");
+        }
+        close = i + 3;
+      }
+      if (close >= n || source[close] != '\'') {
+        return fail("unterminated character literal");
+      }
+      Token t = make(TokenKind::kIntLiteral);
+      t.int_value = static_cast<uint8_t>(v);
+      tokens->push_back(std::move(t));
+      column += static_cast<int>(close + 1 - i);
+      i = close + 1;
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      std::string text;
+      size_t j = i + 1;
+      while (j < n && source[j] != '"') {
+        char v = source[j];
+        if (v == '\\' && j + 1 < n) {
+          ++j;
+          switch (source[j]) {
+            case 'n': v = '\n'; break;
+            case 't': v = '\t'; break;
+            case '0': v = '\0'; break;
+            case '\\': v = '\\'; break;
+            case '"': v = '"'; break;
+            default: return fail("unknown escape in string literal");
+          }
+        }
+        text.push_back(v);
+        ++j;
+      }
+      if (j >= n) {
+        return fail("unterminated string literal");
+      }
+      Token t = make(TokenKind::kStringLiteral);
+      t.text = std::move(text);
+      tokens->push_back(std::move(t));
+      column += static_cast<int>(j + 1 - i);
+      i = j + 1;
+      continue;
+    }
+    // Operators and punctuation.
+    auto two = [&](char second) { return i + 1 < n && source[i + 1] == second; };
+    Token t = make(TokenKind::kEof);
+    int consumed = 1;
+    switch (c) {
+      case '(': t.kind = TokenKind::kLParen; break;
+      case ')': t.kind = TokenKind::kRParen; break;
+      case '{': t.kind = TokenKind::kLBrace; break;
+      case '}': t.kind = TokenKind::kRBrace; break;
+      case '[': t.kind = TokenKind::kLBracket; break;
+      case ']': t.kind = TokenKind::kRBracket; break;
+      case ';': t.kind = TokenKind::kSemicolon; break;
+      case ',': t.kind = TokenKind::kComma; break;
+      case '.': t.kind = TokenKind::kDot; break;
+      case '+': t.kind = TokenKind::kPlus; break;
+      case '*': t.kind = TokenKind::kStar; break;
+      case '/': t.kind = TokenKind::kSlash; break;
+      case '%': t.kind = TokenKind::kPercent; break;
+      case '^': t.kind = TokenKind::kCaret; break;
+      case '-':
+        if (two('>')) { t.kind = TokenKind::kArrow; consumed = 2; }
+        else { t.kind = TokenKind::kMinus; }
+        break;
+      case '&':
+        if (two('&')) { t.kind = TokenKind::kAndAnd; consumed = 2; }
+        else { t.kind = TokenKind::kAmp; }
+        break;
+      case '|':
+        if (two('|')) { t.kind = TokenKind::kOrOr; consumed = 2; }
+        else { t.kind = TokenKind::kPipe; }
+        break;
+      case '=':
+        if (two('=')) { t.kind = TokenKind::kEq; consumed = 2; }
+        else { t.kind = TokenKind::kAssign; }
+        break;
+      case '!':
+        if (two('=')) { t.kind = TokenKind::kNe; consumed = 2; }
+        else { t.kind = TokenKind::kNot; }
+        break;
+      case '<':
+        if (two('=')) { t.kind = TokenKind::kLe; consumed = 2; }
+        else if (two('<')) { t.kind = TokenKind::kShl; consumed = 2; }
+        else { t.kind = TokenKind::kLt; }
+        break;
+      case '>':
+        if (two('=')) { t.kind = TokenKind::kGe; consumed = 2; }
+        else if (two('>')) { t.kind = TokenKind::kShr; consumed = 2; }
+        else { t.kind = TokenKind::kGt; }
+        break;
+      default:
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+    tokens->push_back(std::move(t));
+    i += consumed;
+    column += consumed;
+  }
+
+  tokens->push_back(Token{TokenKind::kEof, "", 0, line, column});
+  return true;
+}
+
+}  // namespace cpi::frontend

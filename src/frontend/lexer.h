@@ -1,0 +1,42 @@
+// Lexer for the C subset of Appendix A (Fig. 6), extended with control flow,
+// function definitions and the libc calls the paper's analysis special-cases.
+#ifndef CPI_SRC_FRONTEND_LEXER_H_
+#define CPI_SRC_FRONTEND_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpi::frontend {
+
+enum class TokenKind {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  kStringLiteral,
+  // keywords
+  kInt, kChar, kVoid, kFloat, kStruct, kIf, kElse, kWhile, kFor, kReturn,
+  kSizeof, kMalloc, kFree, kConst, kOutput, kInput,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemicolon, kComma, kDot, kArrow, kAmp, kStar, kPlus, kMinus, kSlash,
+  kPercent, kAssign, kEq, kNe, kLt, kLe, kGt, kGe, kAndAnd, kOrOr, kNot,
+  kPipe, kCaret, kShl, kShr,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;      // identifier / string literal contents
+  uint64_t int_value = 0;
+  int line = 0;
+  int column = 0;
+};
+
+const char* TokenKindName(TokenKind kind);
+
+// Tokenises `source`. On error, returns false and fills `error`.
+bool Lex(const std::string& source, std::vector<Token>* tokens, std::string* error);
+
+}  // namespace cpi::frontend
+
+#endif  // CPI_SRC_FRONTEND_LEXER_H_

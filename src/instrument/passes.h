@@ -1,0 +1,53 @@
+// The instrumentation passes of the Levee prototype (§4), plus the baselines
+// the paper compares against.
+//
+// Every pass rewrites the module in place, re-numbers values, and records
+// itself in Module::protection(). Composition rules follow the paper: the
+// SafeStack pass is part of both CPI and CPS deployments and also works
+// stand-alone (-fstack-protector-safe); the baselines are mutually exclusive
+// with CPI/CPS.
+#ifndef CPI_SRC_INSTRUMENT_PASSES_H_
+#define CPI_SRC_INSTRUMENT_PASSES_H_
+
+#include "src/ir/module.h"
+
+namespace cpi::instrument {
+
+struct PassOptions {
+  bool char_star_heuristic = true;  // §3.2.1 char*-as-string refinement
+  bool cast_dataflow = true;        // §3.2.1 unsafe-cast dataflow analysis
+  bool debug_mode = false;          // §3.2.2 mirror-and-compare mode
+  bool temporal = false;            // CETS-style temporal extension (§4)
+};
+
+// §3.2.4: classifies every alloca as safe/unsafe, marks functions that need
+// an unsafe frame, and enables the dual-stack runtime.
+void ApplySafeStack(ir::Module& module);
+
+// §3.2.2: rewrites sensitive loads/stores into safe-pointer-store intrinsics,
+// adds bounds checks on sensitive dereferences and code-pointer assertions on
+// indirect calls. Includes the safe stack.
+void ApplyCpi(ir::Module& module, const PassOptions& options = {});
+
+// §3.3: code-pointer-only protection, no bounds metadata. Includes the safe
+// stack.
+void ApplyCps(ir::Module& module, const PassOptions& options = {});
+
+// Baseline: SoftBound-style full spatial memory safety — every pointer-typed
+// load/store maintains shadow metadata and every non-trivial dereference is
+// checked.
+void ApplySoftBound(ir::Module& module);
+
+// Baseline: coarse-grained CFI — indirect calls may only target
+// address-taken functions.
+void ApplyCfi(ir::Module& module);
+
+// Baseline: stack cookies for functions with character-array locals.
+void ApplyStackCookies(ir::Module& module);
+
+// Re-numbers all functions; needed before execution even when no pass ran.
+void FinalizeModule(ir::Module& module);
+
+}  // namespace cpi::instrument
+
+#endif  // CPI_SRC_INSTRUMENT_PASSES_H_

@@ -1,0 +1,22 @@
+#include "src/instrument/rewrite.h"
+
+namespace cpi::instrument {
+
+void RemapOperands(ir::Function& function,
+                   const std::map<ir::Value*, ir::Value*>& replacements) {
+  if (replacements.empty()) {
+    return;
+  }
+  for (const auto& bb : function.blocks()) {
+    for (ir::Instruction* inst : bb->instructions()) {
+      for (size_t i = 0; i < inst->operands().size(); ++i) {
+        auto it = replacements.find(inst->operand(i));
+        if (it != replacements.end()) {
+          inst->SetOperand(i, it->second);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cpi::instrument

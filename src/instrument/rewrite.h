@@ -1,0 +1,19 @@
+// Shared rewriting machinery for instrumentation passes.
+#ifndef CPI_SRC_INSTRUMENT_REWRITE_H_
+#define CPI_SRC_INSTRUMENT_REWRITE_H_
+
+#include <map>
+
+#include "src/ir/module.h"
+
+namespace cpi::instrument {
+
+// Replaces, in every instruction of `function`, operands according to
+// `replacements` (old value -> new value). Single-level: passes record the
+// final replacement directly.
+void RemapOperands(ir::Function& function,
+                   const std::map<ir::Value*, ir::Value*>& replacements);
+
+}  // namespace cpi::instrument
+
+#endif  // CPI_SRC_INSTRUMENT_REWRITE_H_

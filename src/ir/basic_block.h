@@ -1,0 +1,54 @@
+// Basic blocks: straight-line instruction sequences ending in a terminator.
+#ifndef CPI_SRC_IR_BASIC_BLOCK_H_
+#define CPI_SRC_IR_BASIC_BLOCK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/instruction.h"
+
+namespace cpi::ir {
+
+class Function;
+
+class BasicBlock {
+ public:
+  BasicBlock(std::string name, Function* parent) : name_(std::move(name)), parent_(parent) {}
+
+  const std::string& name() const { return name_; }
+  Function* parent() const { return parent_; }
+
+  const std::vector<Instruction*>& instructions() const { return instructions_; }
+
+  void Append(Instruction* inst) {
+    CPI_CHECK(inst != nullptr);
+    instructions_.push_back(inst);
+  }
+
+  // Replaces the whole instruction list; used by rewriting passes, which
+  // build a new list per block. Instruction memory stays owned by the
+  // enclosing Function.
+  void ReplaceInstructions(std::vector<Instruction*> insts) { instructions_ = std::move(insts); }
+
+  bool empty() const { return instructions_.empty(); }
+
+  Instruction* terminator() const {
+    CPI_CHECK(!instructions_.empty());
+    Instruction* last = instructions_.back();
+    CPI_CHECK(last->IsTerminator());
+    return last;
+  }
+
+  bool HasTerminator() const {
+    return !instructions_.empty() && instructions_.back()->IsTerminator();
+  }
+
+ private:
+  std::string name_;
+  Function* parent_;
+  std::vector<Instruction*> instructions_;
+};
+
+}  // namespace cpi::ir
+
+#endif  // CPI_SRC_IR_BASIC_BLOCK_H_

@@ -1,0 +1,46 @@
+#include "src/ir/function.h"
+
+namespace cpi::ir {
+
+Function::Function(std::string name, const FunctionType* type, Module* parent)
+    : name_(std::move(name)), type_(type), parent_(parent) {
+  CPI_CHECK(type != nullptr);
+  for (size_t i = 0; i < type->params().size(); ++i) {
+    args_.push_back(std::make_unique<Argument>(type->params()[i], static_cast<unsigned>(i), this,
+                                               "arg" + std::to_string(i)));
+  }
+}
+
+BasicBlock* Function::CreateBlock(std::string name) {
+  blocks_.push_back(std::make_unique<BasicBlock>(std::move(name), this));
+  return blocks_.back().get();
+}
+
+Instruction* Function::CreateInstruction(Opcode op, const Type* result_type) {
+  instruction_arena_.push_back(std::make_unique<Instruction>(op, result_type));
+  return instruction_arena_.back().get();
+}
+
+uint32_t Function::RenumberValues() {
+  uint32_t next = 0;
+  for (const auto& arg : args_) {
+    arg->set_value_id(next++);
+  }
+  for (const auto& bb : blocks_) {
+    for (Instruction* inst : bb->instructions()) {
+      inst->set_value_id(next++);
+    }
+  }
+  register_count_ = next;
+  return next;
+}
+
+size_t Function::InstructionCount() const {
+  size_t n = 0;
+  for (const auto& bb : blocks_) {
+    n += bb->instructions().size();
+  }
+  return n;
+}
+
+}  // namespace cpi::ir

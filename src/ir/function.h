@@ -1,0 +1,86 @@
+// Functions: arguments, basic blocks, and per-function attributes that the
+// analyses and instrumentation passes compute (unsafe-frame requirement,
+// stack-cookie marker).
+#ifndef CPI_SRC_IR_FUNCTION_H_
+#define CPI_SRC_IR_FUNCTION_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/basic_block.h"
+#include "src/ir/instruction.h"
+#include "src/ir/value.h"
+
+namespace cpi::ir {
+
+class Module;
+
+class Function {
+ public:
+  Function(std::string name, const FunctionType* type, Module* parent);
+
+  const std::string& name() const { return name_; }
+  const FunctionType* type() const { return type_; }
+  Module* parent() const { return parent_; }
+
+  const std::vector<std::unique_ptr<Argument>>& args() const { return args_; }
+  Argument* arg(size_t i) const {
+    CPI_CHECK(i < args_.size());
+    return args_[i].get();
+  }
+
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const { return blocks_; }
+  BasicBlock* entry() const {
+    CPI_CHECK(!blocks_.empty());
+    return blocks_.front().get();
+  }
+
+  BasicBlock* CreateBlock(std::string name);
+
+  // Creates an instruction owned by this function. It is NOT appended to any
+  // block; the builder / passes do that.
+  Instruction* CreateInstruction(Opcode op, const Type* result_type);
+
+  // Assigns dense value ids to arguments and instructions (in block order);
+  // returns the total register count. The VM sizes its register file from
+  // this.
+  uint32_t RenumberValues();
+  uint32_t register_count() const { return register_count_; }
+
+  // --- attributes written by passes --------------------------------------
+
+  // §3.2.4: does this function own objects that must live on the unsafe
+  // stack? (Set by the SafeStack pass; Table 2's FNUStack column.)
+  bool needs_unsafe_frame() const { return needs_unsafe_frame_; }
+  void set_needs_unsafe_frame(bool v) { needs_unsafe_frame_ = v; }
+
+  // Stack-cookie baseline: VM writes/validates a canary for this function.
+  bool has_stack_cookie() const { return has_stack_cookie_; }
+  void set_has_stack_cookie(bool v) { has_stack_cookie_ = v; }
+
+  // True once any FuncAddr instruction anywhere takes this function's
+  // address; computed by Module::ComputeAddressTaken. This is the set
+  // coarse-grained CFI admits as indirect-call targets.
+  bool address_taken() const { return address_taken_; }
+  void set_address_taken(bool v) { address_taken_ = v; }
+
+  size_t InstructionCount() const;
+
+ private:
+  std::string name_;
+  const FunctionType* type_;
+  Module* parent_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  std::deque<std::unique_ptr<Instruction>> instruction_arena_;
+  uint32_t register_count_ = 0;
+  bool needs_unsafe_frame_ = false;
+  bool has_stack_cookie_ = false;
+  bool address_taken_ = false;
+};
+
+}  // namespace cpi::ir
+
+#endif  // CPI_SRC_IR_FUNCTION_H_

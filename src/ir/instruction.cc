@@ -1,0 +1,128 @@
+#include "src/ir/instruction.h"
+
+namespace cpi::ir {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kAlloca: return "alloca";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kFieldAddr: return "fieldaddr";
+    case Opcode::kIndexAddr: return "indexaddr";
+    case Opcode::kBinOp: return "binop";
+    case Opcode::kCast: return "cast";
+    case Opcode::kSelect: return "select";
+    case Opcode::kCall: return "call";
+    case Opcode::kIndirectCall: return "icall";
+    case Opcode::kLibCall: return "libcall";
+    case Opcode::kMalloc: return "malloc";
+    case Opcode::kFree: return "free";
+    case Opcode::kFuncAddr: return "funcaddr";
+    case Opcode::kGlobalAddr: return "globaladdr";
+    case Opcode::kBr: return "br";
+    case Opcode::kCondBr: return "condbr";
+    case Opcode::kRet: return "ret";
+    case Opcode::kInput: return "input";
+    case Opcode::kOutput: return "output";
+    case Opcode::kIntrinsic: return "intrinsic";
+  }
+  CPI_UNREACHABLE();
+}
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "add";
+    case BinOp::kSub: return "sub";
+    case BinOp::kMul: return "mul";
+    case BinOp::kSDiv: return "sdiv";
+    case BinOp::kUDiv: return "udiv";
+    case BinOp::kSRem: return "srem";
+    case BinOp::kURem: return "urem";
+    case BinOp::kAnd: return "and";
+    case BinOp::kOr: return "or";
+    case BinOp::kXor: return "xor";
+    case BinOp::kShl: return "shl";
+    case BinOp::kLShr: return "lshr";
+    case BinOp::kAShr: return "ashr";
+    case BinOp::kEq: return "eq";
+    case BinOp::kNe: return "ne";
+    case BinOp::kSLt: return "slt";
+    case BinOp::kSLe: return "sle";
+    case BinOp::kSGt: return "sgt";
+    case BinOp::kSGe: return "sge";
+    case BinOp::kULt: return "ult";
+    case BinOp::kULe: return "ule";
+    case BinOp::kFAdd: return "fadd";
+    case BinOp::kFSub: return "fsub";
+    case BinOp::kFMul: return "fmul";
+    case BinOp::kFDiv: return "fdiv";
+    case BinOp::kFEq: return "feq";
+    case BinOp::kFNe: return "fne";
+    case BinOp::kFLt: return "flt";
+    case BinOp::kFLe: return "fle";
+    case BinOp::kFGt: return "fgt";
+    case BinOp::kFGe: return "fge";
+  }
+  CPI_UNREACHABLE();
+}
+
+const char* CastKindName(CastKind kind) {
+  switch (kind) {
+    case CastKind::kBitcast: return "bitcast";
+    case CastKind::kPtrToInt: return "ptrtoint";
+    case CastKind::kIntToPtr: return "inttoptr";
+    case CastKind::kTrunc: return "trunc";
+    case CastKind::kZExt: return "zext";
+    case CastKind::kSExt: return "sext";
+    case CastKind::kIntToFloat: return "inttofloat";
+    case CastKind::kFloatToInt: return "floattoint";
+  }
+  CPI_UNREACHABLE();
+}
+
+const char* LibFuncName(LibFunc f) {
+  switch (f) {
+    case LibFunc::kStrcpy: return "strcpy";
+    case LibFunc::kStrncpy: return "strncpy";
+    case LibFunc::kStrcat: return "strcat";
+    case LibFunc::kStrlen: return "strlen";
+    case LibFunc::kStrcmp: return "strcmp";
+    case LibFunc::kMemcpy: return "memcpy";
+    case LibFunc::kMemset: return "memset";
+    case LibFunc::kMemmove: return "memmove";
+    case LibFunc::kInputBytes: return "input_bytes";
+  }
+  CPI_UNREACHABLE();
+}
+
+const char* StackKindName(StackKind k) {
+  switch (k) {
+    case StackKind::kDefault: return "default";
+    case StackKind::kSafe: return "safe";
+    case StackKind::kUnsafe: return "unsafe";
+  }
+  CPI_UNREACHABLE();
+}
+
+const char* IntrinsicName(IntrinsicId id) {
+  switch (id) {
+    case IntrinsicId::kCpiStore: return "cpi_store";
+    case IntrinsicId::kCpiLoad: return "cpi_load";
+    case IntrinsicId::kCpiStoreUni: return "cpi_store_uni";
+    case IntrinsicId::kCpiLoadUni: return "cpi_load_uni";
+    case IntrinsicId::kCpiBoundsCheck: return "cpi_bounds_check";
+    case IntrinsicId::kCpiAssertCode: return "cpi_assert_code";
+    case IntrinsicId::kCpsStore: return "cps_store";
+    case IntrinsicId::kCpsLoad: return "cps_load";
+    case IntrinsicId::kCpsStoreUni: return "cps_store_uni";
+    case IntrinsicId::kCpsLoadUni: return "cps_load_uni";
+    case IntrinsicId::kCpsAssertCode: return "cps_assert_code";
+    case IntrinsicId::kSbStore: return "sb_store";
+    case IntrinsicId::kSbLoad: return "sb_load";
+    case IntrinsicId::kSbCheck: return "sb_check";
+    case IntrinsicId::kCfiCheck: return "cfi_check";
+  }
+  CPI_UNREACHABLE();
+}
+
+}  // namespace cpi::ir

@@ -1,0 +1,47 @@
+// Runtime intrinsics that instrumentation passes insert.
+//
+// These correspond to the Levee runtime-support calls of §4 (cpi_ptr_store()
+// and friends). The VM executes them against the runtime's safe pointer
+// store; their cost is charged according to the configured store
+// organisation.
+#ifndef CPI_SRC_IR_INTRINSICS_H_
+#define CPI_SRC_IR_INTRINSICS_H_
+
+namespace cpi::ir {
+
+enum class IntrinsicId {
+  // --- CPI (§3.2.2): sensitive pointer loads/stores via the safe store, with
+  // full based-on metadata (bounds + temporal id).
+  kCpiStore,     // (addr, value) -> void   ; writes value+metadata to Ms[addr]
+  kCpiLoad,      // (addr) -> value         ; reads value+metadata from Ms[addr]
+  kCpiStoreUni,  // universal-pointer store: Ms if metadata valid, else Mu
+  kCpiLoadUni,   // universal-pointer load: Ms if it holds a safe value, else Mu
+
+  // Bounds (and, when enabled, temporal) check of the pointer being
+  // dereferenced; aborts the program on violation.
+  kCpiBoundsCheck,  // (addr, access_size) -> void
+
+  // Indirect-call target check: the value must be a safe code pointer.
+  kCpiAssertCode,  // (fnptr) -> fnptr
+
+  // --- CPS (§3.3): code-pointer-only protection, no metadata.
+  kCpsStore,     // (addr, value) -> void   ; code pointer into Ms[addr]
+  kCpsLoad,      // (addr) -> value         ; code pointer out of Ms[addr]
+  kCpsStoreUni,  // universal store: Ms when the value is a code pointer
+  kCpsLoadUni,   // universal load: Ms when it holds a code pointer, else Mu
+  kCpsAssertCode,  // (fnptr) -> fnptr      ; value must stem from a code-ptr store
+
+  // --- SoftBound baseline (§5.2 comparison): full spatial memory safety.
+  kSbStore,  // (addr, value) -> void ; pointer store + shadow metadata update
+  kSbLoad,   // (addr) -> value       ; pointer load + shadow metadata fetch
+  kSbCheck,  // (addr, access_size) -> void ; checked on every dereference
+
+  // --- CFI baseline: coarse-grained valid-target-set check.
+  kCfiCheck,  // (fnptr) -> fnptr ; target must be an address-taken function
+};
+
+const char* IntrinsicName(IntrinsicId id);
+
+}  // namespace cpi::ir
+
+#endif  // CPI_SRC_IR_INTRINSICS_H_

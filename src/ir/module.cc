@@ -1,0 +1,79 @@
+#include "src/ir/module.h"
+
+namespace cpi::ir {
+
+Function* Module::CreateFunction(const std::string& name, const FunctionType* type) {
+  CPI_CHECK(FindFunction(name) == nullptr);
+  functions_.push_back(std::make_unique<Function>(name, type, this));
+  return functions_.back().get();
+}
+
+Function* Module::FindFunction(const std::string& name) const {
+  for (const auto& f : functions_) {
+    if (f->name() == name) {
+      return f.get();
+    }
+  }
+  return nullptr;
+}
+
+GlobalVariable* Module::CreateGlobal(const std::string& name, const Type* type, bool is_const) {
+  CPI_CHECK(FindGlobal(name) == nullptr);
+  globals_.push_back(std::make_unique<GlobalVariable>(name, type, is_const));
+  return globals_.back().get();
+}
+
+GlobalVariable* Module::FindGlobal(const std::string& name) const {
+  for (const auto& g : globals_) {
+    if (g->name() == name) {
+      return g.get();
+    }
+  }
+  return nullptr;
+}
+
+ConstantInt* Module::GetConstInt(const Type* type, uint64_t value) {
+  auto owned = std::make_unique<ConstantInt>(type, value);
+  ConstantInt* raw = owned.get();
+  constants_.push_back(std::move(owned));
+  return raw;
+}
+
+ConstantFloat* Module::GetConstFloat(double value) {
+  auto owned = std::make_unique<ConstantFloat>(types_.FloatTy(), value);
+  ConstantFloat* raw = owned.get();
+  constants_.push_back(std::move(owned));
+  return raw;
+}
+
+ConstantNull* Module::GetNull(const Type* pointer_type) {
+  auto owned = std::make_unique<ConstantNull>(pointer_type);
+  ConstantNull* raw = owned.get();
+  constants_.push_back(std::move(owned));
+  return raw;
+}
+
+void Module::ComputeAddressTaken() {
+  for (const auto& f : functions_) {
+    f->set_address_taken(false);
+  }
+  for (const auto& f : functions_) {
+    for (const auto& bb : f->blocks()) {
+      for (const Instruction* inst : bb->instructions()) {
+        if (inst->op() == Opcode::kFuncAddr) {
+          inst->callee()->set_address_taken(true);
+        }
+      }
+    }
+  }
+}
+
+size_t Module::InstructionCount() const {
+  size_t n = 0;
+  for (const auto& f : functions_) {
+    n += f->InstructionCount();
+  }
+  return n;
+}
+
+}  // namespace cpi::ir

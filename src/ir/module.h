@@ -1,0 +1,116 @@
+// Module: the unit of compilation. Owns the type context, functions, globals
+// and constants, plus the record of which protection passes have been applied
+// (the VM consults this to route return addresses, cookies, etc.).
+#ifndef CPI_SRC_IR_MODULE_H_
+#define CPI_SRC_IR_MODULE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ir/function.h"
+#include "src/ir/type.h"
+
+namespace cpi::ir {
+
+class GlobalVariable {
+ public:
+  GlobalVariable(std::string name, const Type* type, bool is_const)
+      : name_(std::move(name)), type_(type), is_const_(is_const) {
+    CPI_CHECK(type != nullptr);
+  }
+
+  const std::string& name() const { return name_; }
+  const Type* type() const { return type_; }
+
+  // Const globals are placed in read-only memory by the VM (like jump tables
+  // and string constants, §4 "Binary level functionality"): the attacker
+  // cannot overwrite them.
+  bool is_const() const { return is_const_; }
+
+  // Optional initial bytes (zero-filled when shorter than the type size).
+  const std::vector<uint8_t>& initializer() const { return initializer_; }
+  void set_initializer(std::vector<uint8_t> bytes) { initializer_ = std::move(bytes); }
+
+ private:
+  std::string name_;
+  const Type* type_;
+  bool is_const_;
+  std::vector<uint8_t> initializer_;
+};
+
+// Which protection mechanisms the instrumentation configured on this module.
+// Written by the passes, read by the VM and by reporting code.
+struct ProtectionFlags {
+  bool safe_stack = false;    // §3.2.4
+  bool cpi = false;           // §3.2.2
+  bool cps = false;           // §3.3
+  bool softbound = false;     // full-memory-safety baseline
+  bool cfi = false;           // coarse CFI baseline
+  bool stack_cookies = false; // canary baseline
+  // Debug mode (§3.2.2): mirror sensitive pointers into both regions and
+  // compare on load — detects (rather than silently neutralises) attacks.
+  bool debug_mode = false;
+  // Enforce temporal (CETS-style) safety in addition to spatial. The paper's
+  // prototype is spatial-only; the design covers both (§4 "Limitations").
+  bool temporal = false;
+};
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+  TypeContext& types() { return types_; }
+  const TypeContext& types() const { return types_; }
+
+  Function* CreateFunction(const std::string& name, const FunctionType* type);
+  Function* FindFunction(const std::string& name) const;
+  const std::vector<std::unique_ptr<Function>>& functions() const { return functions_; }
+
+  GlobalVariable* CreateGlobal(const std::string& name, const Type* type, bool is_const = false);
+  GlobalVariable* FindGlobal(const std::string& name) const;
+  const std::vector<std::unique_ptr<GlobalVariable>>& globals() const { return globals_; }
+
+  // Constant factories (module-owned).
+  ConstantInt* GetConstInt(const Type* type, uint64_t value);
+  ConstantInt* GetI64(uint64_t value) { return GetConstInt(types_.I64(), value); }
+  ConstantFloat* GetConstFloat(double value);
+  ConstantNull* GetNull(const Type* pointer_type);
+
+  // §3.2.1 / §4 "Sensitive data protection": programmer-annotated types that
+  // must be treated as sensitive even though they contain no code pointers
+  // (e.g. the FreeBSD `struct ucred` analogue).
+  void AnnotateSensitive(const Type* type) { annotated_sensitive_.insert(type); }
+  bool IsAnnotatedSensitive(const Type* type) const {
+    return annotated_sensitive_.count(type) > 0;
+  }
+  const std::set<const Type*>& annotated_sensitive() const { return annotated_sensitive_; }
+
+  ProtectionFlags& protection() { return protection_; }
+  const ProtectionFlags& protection() const { return protection_; }
+
+  // Marks functions whose address is taken by a FuncAddr instruction
+  // anywhere in the module (the coarse-CFI target set).
+  void ComputeAddressTaken();
+
+  size_t InstructionCount() const;
+
+ private:
+  std::string name_;
+  TypeContext types_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<std::unique_ptr<GlobalVariable>> globals_;
+  std::deque<std::unique_ptr<Value>> constants_;
+  std::set<const Type*> annotated_sensitive_;
+  ProtectionFlags protection_;
+};
+
+}  // namespace cpi::ir
+
+#endif  // CPI_SRC_IR_MODULE_H_

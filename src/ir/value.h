@@ -1,0 +1,106 @@
+// IR value hierarchy: constants, function arguments, and instruction results.
+//
+// Values are identified by a function-local register id (assigned by
+// Function::RenumberValues) that the VM uses to index its register file.
+// Constants live outside the register file.
+#ifndef CPI_SRC_IR_VALUE_H_
+#define CPI_SRC_IR_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/ir/type.h"
+#include "src/support/check.h"
+
+namespace cpi::ir {
+
+class Function;
+
+enum class ValueKind {
+  kConstInt,
+  kConstFloat,
+  kConstNull,  // null pointer of some pointer type
+  kArgument,
+  kInstruction,
+};
+
+inline constexpr uint32_t kInvalidValueId = 0xffffffff;
+
+class Value {
+ public:
+  virtual ~Value() = default;
+
+  ValueKind value_kind() const { return value_kind_; }
+  const Type* type() const { return type_; }
+
+  bool IsConstant() const {
+    return value_kind_ == ValueKind::kConstInt || value_kind_ == ValueKind::kConstFloat ||
+           value_kind_ == ValueKind::kConstNull;
+  }
+
+  // Register id within the enclosing function; only meaningful for arguments
+  // and instructions after RenumberValues().
+  uint32_t value_id() const { return value_id_; }
+  void set_value_id(uint32_t id) { value_id_ = id; }
+
+ protected:
+  Value(ValueKind kind, const Type* type) : value_kind_(kind), type_(type) {
+    CPI_CHECK(type != nullptr);
+  }
+
+ private:
+  ValueKind value_kind_;
+  const Type* type_;
+  uint32_t value_id_ = kInvalidValueId;
+};
+
+class ConstantInt final : public Value {
+ public:
+  ConstantInt(const Type* type, uint64_t value)
+      : Value(ValueKind::kConstInt, type), value_(value) {
+    CPI_CHECK(type->IsInt());
+  }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_;
+};
+
+class ConstantFloat final : public Value {
+ public:
+  ConstantFloat(const Type* type, double value)
+      : Value(ValueKind::kConstFloat, type), value_(value) {
+    CPI_CHECK(type->IsFloat());
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_;
+};
+
+class ConstantNull final : public Value {
+ public:
+  explicit ConstantNull(const Type* type) : Value(ValueKind::kConstNull, type) {
+    CPI_CHECK(type->IsPointer());
+  }
+};
+
+class Argument final : public Value {
+ public:
+  Argument(const Type* type, unsigned index, Function* parent, std::string name)
+      : Value(ValueKind::kArgument, type), index_(index), parent_(parent),
+        name_(std::move(name)) {}
+
+  unsigned index() const { return index_; }
+  Function* parent() const { return parent_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  unsigned index_;
+  Function* parent_;
+  std::string name_;
+};
+
+}  // namespace cpi::ir
+
+#endif  // CPI_SRC_IR_VALUE_H_

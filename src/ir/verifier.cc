@@ -1,0 +1,382 @@
+#include "src/ir/verifier.h"
+
+#include <set>
+#include <sstream>
+
+namespace cpi::ir {
+namespace {
+
+class Verifier {
+ public:
+  explicit Verifier(const Module& module) : module_(module) {}
+
+  std::vector<std::string> Run() {
+    bool has_main = false;
+    for (const auto& f : module_.functions()) {
+      if (f->name() == "main") {
+        has_main = true;
+      }
+      VerifyFunction(*f);
+    }
+    if (!has_main) {
+      Error("module", "no main function");
+    }
+    return std::move(errors_);
+  }
+
+ private:
+  void Error(const std::string& where, const std::string& what) {
+    errors_.push_back(where + ": " + what);
+  }
+
+  void VerifyFunction(const Function& f) {
+    if (f.blocks().empty()) {
+      Error(f.name(), "function has no blocks");
+      return;
+    }
+
+    // Collect all values defined in this function so operand ownership can be
+    // validated.
+    std::set<const Value*> defined;
+    for (const auto& arg : f.args()) {
+      defined.insert(arg.get());
+    }
+    for (const auto& bb : f.blocks()) {
+      for (const Instruction* inst : bb->instructions()) {
+        defined.insert(inst);
+      }
+    }
+    std::set<const BasicBlock*> blocks;
+    for (const auto& bb : f.blocks()) {
+      blocks.insert(bb.get());
+    }
+
+    for (const auto& bb : f.blocks()) {
+      const std::string where = f.name() + "/" + bb->name();
+      if (bb->instructions().empty()) {
+        Error(where, "empty block");
+        continue;
+      }
+      if (!bb->HasTerminator()) {
+        Error(where, "block does not end in a terminator");
+      }
+      for (size_t i = 0; i < bb->instructions().size(); ++i) {
+        const Instruction* inst = bb->instructions()[i];
+        if (inst->IsTerminator() && i + 1 != bb->instructions().size()) {
+          Error(where, "terminator in the middle of a block");
+        }
+        for (const Value* op : inst->operands()) {
+          if (!op->IsConstant() && defined.count(op) == 0) {
+            Error(where, std::string(OpcodeName(inst->op())) +
+                             " uses a value from another function");
+          }
+        }
+        for (size_t s = 0; s < inst->successor_count(); ++s) {
+          if (blocks.count(inst->successor(s)) == 0) {
+            Error(where, "branch to a block of another function");
+          }
+        }
+        VerifyInstruction(where, f, *inst);
+      }
+    }
+  }
+
+  static const Type* Pointee(const Value* v) {
+    return static_cast<const PointerType*>(v->type())->pointee();
+  }
+
+  void VerifyInstruction(const std::string& where, const Function& f, const Instruction& inst) {
+    auto expect_operands = [&](size_t n) {
+      if (inst.operands().size() != n) {
+        std::ostringstream os;
+        os << OpcodeName(inst.op()) << ": expected " << n << " operands, got "
+           << inst.operands().size();
+        Error(where, os.str());
+        return false;
+      }
+      return true;
+    };
+    auto expect_ptr = [&](size_t i) {
+      if (!inst.operand(i)->type()->IsPointer()) {
+        Error(where, std::string(OpcodeName(inst.op())) + ": operand " + std::to_string(i) +
+                         " must be a pointer");
+        return false;
+      }
+      return true;
+    };
+    auto expect_int = [&](size_t i) {
+      if (!inst.operand(i)->type()->IsInt()) {
+        Error(where, std::string(OpcodeName(inst.op())) + ": operand " + std::to_string(i) +
+                         " must be an integer");
+        return false;
+      }
+      return true;
+    };
+
+    switch (inst.op()) {
+      case Opcode::kAlloca:
+        expect_operands(0);
+        if (inst.extra_type() == nullptr) {
+          Error(where, "alloca without allocated type");
+        }
+        break;
+      case Opcode::kLoad:
+        if (expect_operands(1) && expect_ptr(0)) {
+          const Type* pointee = Pointee(inst.operand(0));
+          if (!pointee->IsInt() && !pointee->IsFloat() && !pointee->IsPointer()) {
+            Error(where, "load of non-scalar type");
+          } else if (pointee != inst.type()) {
+            Error(where, "load result type does not match pointee");
+          }
+        }
+        break;
+      case Opcode::kStore:
+        if (expect_operands(2) && expect_ptr(1)) {
+          const Type* pointee = Pointee(inst.operand(1));
+          if (pointee->IsStruct() || pointee->IsArray()) {
+            Error(where, "store of non-scalar type");
+          } else if (!pointee->IsVoid() && pointee != inst.operand(0)->type()) {
+            // Stores through void* are untyped; all others must match.
+            Error(where, "store value type does not match pointee");
+          }
+        }
+        break;
+      case Opcode::kFieldAddr:
+        if (expect_operands(1) && expect_ptr(0)) {
+          const Type* pointee = Pointee(inst.operand(0));
+          if (!pointee->IsStruct() || static_cast<const StructType*>(pointee)->is_opaque()) {
+            Error(where, "fieldaddr base is not a sized struct pointer");
+          } else if (inst.field_index() >=
+                     static_cast<const StructType*>(pointee)->fields().size()) {
+            Error(where, "fieldaddr index out of range");
+          }
+        }
+        break;
+      case Opcode::kIndexAddr:
+        if (expect_operands(2) && expect_ptr(0)) {
+          expect_int(1);
+        }
+        break;
+      case Opcode::kBinOp: {
+        if (!expect_operands(2)) {
+          break;
+        }
+        const bool is_float_op = inst.binop() >= BinOp::kFAdd;
+        for (size_t i = 0; i < 2; ++i) {
+          const Type* t = inst.operand(i)->type();
+          if (is_float_op && !t->IsFloat()) {
+            Error(where, "float binop with non-float operand");
+          }
+          if (!is_float_op && !t->IsInt() && !t->IsPointer()) {
+            Error(where, "integer binop with non-integer operand");
+          }
+        }
+        break;
+      }
+      case Opcode::kCast: {
+        if (!expect_operands(1)) {
+          break;
+        }
+        const Type* from = inst.operand(0)->type();
+        const Type* to = inst.type();
+        switch (inst.cast_kind()) {
+          case CastKind::kBitcast:
+            if (!from->IsPointer() || !to->IsPointer()) {
+              Error(where, "bitcast requires pointer types");
+            }
+            break;
+          case CastKind::kPtrToInt:
+            if (!from->IsPointer() || !to->IsInt()) {
+              Error(where, "ptrtoint requires pointer -> int");
+            }
+            break;
+          case CastKind::kIntToPtr:
+            if (!from->IsInt() || !to->IsPointer()) {
+              Error(where, "inttoptr requires int -> pointer");
+            }
+            break;
+          case CastKind::kTrunc:
+          case CastKind::kZExt:
+          case CastKind::kSExt:
+            if (!from->IsInt() || !to->IsInt()) {
+              Error(where, "integer cast requires int -> int");
+            }
+            break;
+          case CastKind::kIntToFloat:
+            if (!from->IsInt() || !to->IsFloat()) {
+              Error(where, "inttofloat requires int -> float");
+            }
+            break;
+          case CastKind::kFloatToInt:
+            if (!from->IsFloat() || !to->IsInt()) {
+              Error(where, "floattoint requires float -> int");
+            }
+            break;
+        }
+        break;
+      }
+      case Opcode::kSelect:
+        if (expect_operands(3)) {
+          expect_int(0);
+          if (inst.operand(1)->type() != inst.operand(2)->type()) {
+            Error(where, "select arms have different types");
+          }
+        }
+        break;
+      case Opcode::kCall: {
+        const Function* callee = inst.callee();
+        if (callee == nullptr) {
+          Error(where, "call without callee");
+          break;
+        }
+        const auto& params = callee->type()->params();
+        if (inst.operands().size() != params.size()) {
+          Error(where, "call argument count mismatch");
+          break;
+        }
+        for (size_t i = 0; i < params.size(); ++i) {
+          if (inst.operand(i)->type() != params[i]) {
+            Error(where, "call argument " + std::to_string(i) + " type mismatch");
+          }
+        }
+        break;
+      }
+      case Opcode::kIndirectCall: {
+        if (inst.operands().empty() || !inst.operand(0)->type()->IsPointer() ||
+            !IsCodePointer(inst.operand(0)->type())) {
+          Error(where, "indirect call target is not a function pointer");
+          break;
+        }
+        const auto* fn_type = static_cast<const FunctionType*>(Pointee(inst.operand(0)));
+        if (inst.operands().size() - 1 != fn_type->params().size()) {
+          Error(where, "indirect call argument count mismatch");
+        }
+        break;
+      }
+      case Opcode::kLibCall:
+        switch (inst.lib_func()) {
+          case LibFunc::kStrcpy:
+          case LibFunc::kStrcat:
+          case LibFunc::kStrcmp:
+            expect_operands(2);
+            break;
+          case LibFunc::kStrlen:
+            expect_operands(1);
+            break;
+          case LibFunc::kStrncpy:
+          case LibFunc::kMemcpy:
+          case LibFunc::kMemset:
+          case LibFunc::kMemmove:
+            expect_operands(3);
+            break;
+          case LibFunc::kInputBytes:
+            expect_operands(2);
+            break;
+        }
+        for (size_t i = 0; i < inst.operands().size(); ++i) {
+          const Type* t = inst.operand(i)->type();
+          if (!t->IsPointer() && !t->IsInt()) {
+            Error(where, "libcall operand must be pointer or integer");
+          }
+        }
+        break;
+      case Opcode::kMalloc:
+        if (expect_operands(1)) {
+          expect_int(0);
+          if (!inst.type()->IsPointer()) {
+            Error(where, "malloc must produce a pointer");
+          }
+        }
+        break;
+      case Opcode::kFree:
+        if (expect_operands(1)) {
+          expect_ptr(0);
+        }
+        break;
+      case Opcode::kFuncAddr:
+        expect_operands(0);
+        if (inst.callee() == nullptr) {
+          Error(where, "funcaddr without callee");
+        }
+        break;
+      case Opcode::kGlobalAddr:
+        expect_operands(0);
+        if (inst.global() == nullptr) {
+          Error(where, "globaladdr without global");
+        }
+        break;
+      case Opcode::kBr:
+        expect_operands(0);
+        break;
+      case Opcode::kCondBr:
+        if (expect_operands(1)) {
+          expect_int(0);
+        }
+        break;
+      case Opcode::kRet: {
+        const Type* ret = f.type()->return_type();
+        if (ret->IsVoid()) {
+          expect_operands(0);
+        } else if (expect_operands(1)) {
+          if (inst.operand(0)->type() != ret) {
+            Error(where, "return value type mismatch");
+          }
+        }
+        break;
+      }
+      case Opcode::kInput:
+        expect_operands(0);
+        break;
+      case Opcode::kOutput:
+        expect_operands(1);
+        break;
+      case Opcode::kIntrinsic:
+        switch (inst.intrinsic()) {
+          case IntrinsicId::kCpiStore:
+          case IntrinsicId::kCpiStoreUni:
+          case IntrinsicId::kCpsStore:
+          case IntrinsicId::kCpsStoreUni:
+          case IntrinsicId::kSbStore:
+            if (expect_operands(2)) {
+              expect_ptr(0);
+            }
+            break;
+          case IntrinsicId::kCpiLoad:
+          case IntrinsicId::kCpiLoadUni:
+          case IntrinsicId::kCpsLoad:
+          case IntrinsicId::kCpsLoadUni:
+          case IntrinsicId::kSbLoad:
+            if (expect_operands(1)) {
+              expect_ptr(0);
+            }
+            break;
+          case IntrinsicId::kCpiBoundsCheck:
+          case IntrinsicId::kSbCheck:
+            if (expect_operands(2)) {
+              expect_ptr(0);
+              expect_int(1);
+            }
+            break;
+          case IntrinsicId::kCpiAssertCode:
+          case IntrinsicId::kCpsAssertCode:
+          case IntrinsicId::kCfiCheck:
+            if (expect_operands(1)) {
+              expect_ptr(0);
+            }
+            break;
+        }
+        break;
+    }
+  }
+
+  const Module& module_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace
+
+std::vector<std::string> VerifyModule(const Module& module) { return Verifier(module).Run(); }
+
+bool IsValid(const Module& module) { return VerifyModule(module).empty(); }
+
+}  // namespace cpi::ir

@@ -1,0 +1,383 @@
+// The three safe-pointer-store organisations (§4).
+#include "src/runtime/safe_store.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace cpi::runtime {
+
+namespace {
+
+// Logical base of the safe region in the VM's address space; entry addresses
+// synthesised below this base feed the cache model. The actual isolation of
+// this region is enforced by construction (regular memory operations cannot
+// form addresses into it; see src/vm/memory.h).
+constexpr uint64_t kSafeStoreBase = 0x6000'0000'0000ULL;
+
+uint64_t SlotOf(uint64_t addr) { return addr >> 3; }
+
+// ---------------------------------------------------------------------------
+// Sparse direct-mapped array. One entry per 8-byte slot of the regular
+// region, materialised in page-sized chunks on first touch — the "simple
+// array relying on sparse address space support of the underlying OS" that
+// §4 found fastest (with superpages). Memory cost is highest: every touched
+// page reserves entries for all of its slots.
+class ArrayStore final : public SafePointerStore {
+ public:
+  static constexpr uint64_t kSlotsPerPage = 1 << 16;  // 2 MB superpage of entries
+
+  StoreKind kind() const override { return StoreKind::kArray; }
+
+  void Set(uint64_t addr, const SafeEntry& entry, TouchList* touched) override {
+    const uint64_t slot = SlotOf(addr);
+    Page& page = GetPage(slot / kSlotsPerPage);
+    SafeEntry& dst = page.entries[slot % kSlotsPerPage];
+    if (!dst.IsPresent() && entry.IsPresent()) {
+      ++live_entries_;
+    } else if (dst.IsPresent() && !entry.IsPresent()) {
+      --live_entries_;
+    }
+    dst = entry;
+    Touch(slot, touched);
+  }
+
+  SafeEntry Get(uint64_t addr, TouchList* touched) const override {
+    const uint64_t slot = SlotOf(addr);
+    Touch(slot, touched);
+    auto it = pages_.find(slot / kSlotsPerPage);
+    if (it == pages_.end()) {
+      return SafeEntry{};
+    }
+    return it->second->entries[slot % kSlotsPerPage];
+  }
+
+  void Clear(uint64_t addr, TouchList* touched) override {
+    const uint64_t slot = SlotOf(addr);
+    Touch(slot, touched);
+    auto it = pages_.find(slot / kSlotsPerPage);
+    if (it == pages_.end()) {
+      return;
+    }
+    SafeEntry& dst = it->second->entries[slot % kSlotsPerPage];
+    if (dst.IsPresent()) {
+      --live_entries_;
+    }
+    dst = SafeEntry{};
+  }
+
+  uint64_t MemoryBytes() const override {
+    return pages_.size() * kSlotsPerPage * kSafeEntryBytes;
+  }
+
+  uint64_t EntryCount() const override { return live_entries_; }
+
+ private:
+  struct Page {
+    SafeEntry entries[kSlotsPerPage];
+  };
+
+  static void Touch(uint64_t slot, TouchList* touched) {
+    if (touched != nullptr) {
+      // Direct-mapped: exactly one safe-region access, at an address whose
+      // locality mirrors the program's own access locality.
+      touched->Add(kSafeStoreBase + slot * kSafeEntryBytes);
+    }
+  }
+
+  Page& GetPage(uint64_t page_id) {
+    auto it = pages_.find(page_id);
+    if (it == pages_.end()) {
+      it = pages_.emplace(page_id, std::make_unique<Page>()).first;
+    }
+    return *it->second;
+  }
+
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+  uint64_t live_entries_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Two-level lookup table: a directory indexed by the high slot bits pointing
+// at second-level tables — the layout Intel MPX uses for its bound tables
+// (§4 "Future MPX-based implementation"). Each operation touches the
+// directory and the table entry.
+class TwoLevelStore final : public SafePointerStore {
+ public:
+  static constexpr uint64_t kSecondLevelSlots = 1 << 12;
+
+  StoreKind kind() const override { return StoreKind::kTwoLevel; }
+
+  void Set(uint64_t addr, const SafeEntry& entry, TouchList* touched) override {
+    const uint64_t slot = SlotOf(addr);
+    Touch(slot, touched);
+    Table& table = GetTable(slot / kSecondLevelSlots);
+    SafeEntry& dst = table.entries[slot % kSecondLevelSlots];
+    if (!dst.IsPresent() && entry.IsPresent()) {
+      ++live_entries_;
+    } else if (dst.IsPresent() && !entry.IsPresent()) {
+      --live_entries_;
+    }
+    dst = entry;
+  }
+
+  SafeEntry Get(uint64_t addr, TouchList* touched) const override {
+    const uint64_t slot = SlotOf(addr);
+    Touch(slot, touched);
+    auto it = tables_.find(slot / kSecondLevelSlots);
+    if (it == tables_.end()) {
+      return SafeEntry{};
+    }
+    return it->second->entries[slot % kSecondLevelSlots];
+  }
+
+  void Clear(uint64_t addr, TouchList* touched) override {
+    const uint64_t slot = SlotOf(addr);
+    Touch(slot, touched);
+    auto it = tables_.find(slot / kSecondLevelSlots);
+    if (it == tables_.end()) {
+      return;
+    }
+    SafeEntry& dst = it->second->entries[slot % kSecondLevelSlots];
+    if (dst.IsPresent()) {
+      --live_entries_;
+    }
+    dst = SafeEntry{};
+  }
+
+  uint64_t MemoryBytes() const override {
+    // Directory (8 bytes per present table, rounded to a page) + tables.
+    const uint64_t directory = 4096;
+    return directory + tables_.size() * kSecondLevelSlots * kSafeEntryBytes;
+  }
+
+  uint64_t EntryCount() const override { return live_entries_; }
+
+ private:
+  struct Table {
+    SafeEntry entries[kSecondLevelSlots];
+  };
+
+  static void Touch(uint64_t slot, TouchList* touched) {
+    if (touched != nullptr) {
+      const uint64_t dir_index = slot / kSecondLevelSlots;
+      // Directory probe, then the entry in the second-level table.
+      touched->Add(kSafeStoreBase + dir_index * 8);
+      touched->Add(kSafeStoreBase + 0x1000'0000ULL + slot * kSafeEntryBytes);
+    }
+  }
+
+  Table& GetTable(uint64_t table_id) {
+    auto it = tables_.find(table_id);
+    if (it == tables_.end()) {
+      it = tables_.emplace(table_id, std::make_unique<Table>()).first;
+    }
+    return *it->second;
+  }
+
+  std::unordered_map<uint64_t, std::unique_ptr<Table>> tables_;
+  uint64_t live_entries_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Open-addressing hash table with linear probing. Most memory-frugal (only
+// live entries occupy space) but each operation costs one-plus-probes
+// scattered safe-region touches, which is why §4 measured it slower than the
+// array.
+class HashStore final : public SafePointerStore {
+ public:
+  HashStore() : slots_(kInitialSlots) {}
+
+  StoreKind kind() const override { return StoreKind::kHash; }
+
+  void Set(uint64_t addr, const SafeEntry& entry, TouchList* touched) override {
+    if (!entry.IsPresent()) {
+      Clear(addr, touched);
+      return;
+    }
+    if ((live_entries_ + tombstones_ + 1) * 10 > slots_.size() * 7) {
+      Rehash();
+    }
+    const uint64_t key = SlotOf(addr);
+    uint64_t index = Hash(key) & (slots_.size() - 1);
+    // Probe for an existing live entry first; a key may live beyond a
+    // tombstone, so insertion must not stop at the first reusable slot.
+    size_t reusable = slots_.size();
+    for (;;) {
+      Slot& s = slots_[index];
+      Touch(index, touched);
+      if (s.state == SlotState::kLive && s.key == key) {
+        s.entry = entry;
+        return;
+      }
+      if (s.state == SlotState::kTombstone && reusable == slots_.size()) {
+        reusable = index;
+      }
+      if (s.state == SlotState::kEmpty) {
+        Slot& dst = reusable != slots_.size() ? slots_[reusable] : s;
+        if (dst.state == SlotState::kTombstone) {
+          --tombstones_;
+        }
+        dst.state = SlotState::kLive;
+        dst.key = key;
+        dst.entry = entry;
+        ++live_entries_;
+        return;
+      }
+      index = (index + 1) & (slots_.size() - 1);
+    }
+  }
+
+  SafeEntry Get(uint64_t addr, TouchList* touched) const override {
+    const uint64_t key = SlotOf(addr);
+    uint64_t index = Hash(key) & (slots_.size() - 1);
+    for (;;) {
+      const Slot& s = slots_[index];
+      Touch(index, touched);
+      if (s.state == SlotState::kEmpty) {
+        return SafeEntry{};
+      }
+      if (s.state == SlotState::kLive && s.key == key) {
+        return s.entry;
+      }
+      index = (index + 1) & (slots_.size() - 1);
+    }
+  }
+
+  void Clear(uint64_t addr, TouchList* touched) override {
+    const uint64_t key = SlotOf(addr);
+    uint64_t index = Hash(key) & (slots_.size() - 1);
+    for (;;) {
+      Slot& s = slots_[index];
+      Touch(index, touched);
+      if (s.state == SlotState::kEmpty) {
+        return;
+      }
+      if (s.state == SlotState::kLive && s.key == key) {
+        s.state = SlotState::kTombstone;
+        --live_entries_;
+        ++tombstones_;
+        return;
+      }
+      index = (index + 1) & (slots_.size() - 1);
+    }
+  }
+
+  uint64_t MemoryBytes() const override { return slots_.size() * (kSafeEntryBytes + 16); }
+
+  uint64_t EntryCount() const override { return live_entries_; }
+
+ private:
+  static constexpr size_t kInitialSlots = 1024;  // power of two
+
+  enum class SlotState : uint8_t { kEmpty, kLive, kTombstone };
+  struct Slot {
+    SlotState state = SlotState::kEmpty;
+    uint64_t key = 0;
+    SafeEntry entry;
+  };
+
+  static uint64_t Hash(uint64_t key) {
+    // SplitMix64 finaliser: good avalanche for sequential addresses.
+    uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  void Touch(uint64_t index, TouchList* touched) const {
+    if (touched != nullptr) {
+      touched->Add(kSafeStoreBase + 0x2000'0000ULL + index * (kSafeEntryBytes + 16));
+    }
+  }
+
+  void Rehash() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    live_entries_ = 0;
+    tombstones_ = 0;
+    for (const Slot& s : old) {
+      if (s.state == SlotState::kLive) {
+        Set(s.key << 3, s.entry, nullptr);
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  uint64_t live_entries_ = 0;
+  uint64_t tombstones_ = 0;
+};
+
+}  // namespace
+
+void SafePointerStore::ClearRange(uint64_t addr, uint64_t size) {
+  const uint64_t first = addr & ~7ULL;
+  for (uint64_t a = first; a < addr + size; a += 8) {
+    Clear(a, nullptr);
+  }
+}
+
+void SafePointerStore::CopyRange(uint64_t dst, uint64_t src, uint64_t size) {
+  // Entries travel only between identically-aligned slots; a byte-shifted
+  // copy of a pointer is no longer a pointer, so its entry is dropped.
+  if (((dst ^ src) & 7) != 0) {
+    ClearRange(dst, size);
+    return;
+  }
+  const uint64_t first = (src + 7) & ~7ULL;
+  ClearRange(dst, size);
+  for (uint64_t a = first; a + 8 <= src + size; a += 8) {
+    SafeEntry e = Get(a, nullptr);
+    if (e.IsPresent()) {
+      Set(dst + (a - src), e, nullptr);
+    }
+  }
+}
+
+void SafePointerStore::MoveRange(uint64_t dst, uint64_t src, uint64_t size) {
+  if (dst == src) {
+    return;
+  }
+  // Collect then write, so overlapping ranges behave like memmove.
+  std::vector<std::pair<uint64_t, SafeEntry>> entries;
+  if (((dst ^ src) & 7) == 0) {
+    const uint64_t first = (src + 7) & ~7ULL;
+    for (uint64_t a = first; a + 8 <= src + size; a += 8) {
+      SafeEntry e = Get(a, nullptr);
+      if (e.IsPresent()) {
+        entries.emplace_back(dst + (a - src), e);
+      }
+    }
+  }
+  ClearRange(dst, size);
+  for (const auto& [a, e] : entries) {
+    Set(a, e, nullptr);
+  }
+}
+
+const char* StoreKindName(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kArray:
+      return "array";
+    case StoreKind::kTwoLevel:
+      return "two-level";
+    case StoreKind::kHash:
+      return "hashtable";
+  }
+  CPI_UNREACHABLE();
+}
+
+std::unique_ptr<SafePointerStore> CreateSafeStore(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kArray:
+      return std::make_unique<ArrayStore>();
+    case StoreKind::kTwoLevel:
+      return std::make_unique<TwoLevelStore>();
+    case StoreKind::kHash:
+      return std::make_unique<HashStore>();
+  }
+  CPI_UNREACHABLE();
+}
+
+}  // namespace cpi::runtime

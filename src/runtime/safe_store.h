@@ -1,0 +1,79 @@
+// The safe pointer store: maps the regular-region address of a sensitive
+// pointer to its protected value and metadata (§3.2.2, Fig. 2).
+//
+// Three organisations are implemented, mirroring §4 ("Runtime support
+// library"): a simple sparse array, a two-level lookup table, and a hash
+// table. They differ in lookup cost (number of safe-region memory touches per
+// operation) and in resident memory — which is exactly the speed/memory
+// trade-off §5.2 reports.
+//
+// Every operation reports which safe-region addresses it touched so the VM's
+// cache model can charge realistic costs.
+#ifndef CPI_SRC_RUNTIME_SAFE_STORE_H_
+#define CPI_SRC_RUNTIME_SAFE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/runtime/metadata.h"
+
+namespace cpi::runtime {
+
+// Safe-region addresses touched by one store operation (bounded: the deepest
+// organisation touches a directory, a table, and the entry).
+struct TouchList {
+  static constexpr int kMax = 4;
+  uint64_t addrs[kMax];
+  int count = 0;
+
+  void Add(uint64_t addr) {
+    if (count < kMax) {
+      addrs[count++] = addr;
+    }
+  }
+};
+
+enum class StoreKind {
+  kArray,     // sparse direct-mapped array (fastest; most memory)
+  kTwoLevel,  // directory + second-level tables (MPX-style layout)
+  kHash,      // open-addressing hash table (least memory; probe cost)
+};
+
+const char* StoreKindName(StoreKind kind);
+
+class SafePointerStore {
+ public:
+  virtual ~SafePointerStore() = default;
+
+  virtual StoreKind kind() const = 0;
+
+  // Associates `entry` with the regular-region address `addr` (8-byte
+  // aligned slots; unaligned addresses are rounded down, as pointer-sized
+  // writes are).
+  virtual void Set(uint64_t addr, const SafeEntry& entry, TouchList* touched) = 0;
+
+  // Returns the entry at `addr` (kind == kNone when absent).
+  virtual SafeEntry Get(uint64_t addr, TouchList* touched) const = 0;
+
+  // Removes any entry at `addr` (used when a regular value overwrites a
+  // universal-pointer slot).
+  virtual void Clear(uint64_t addr, TouchList* touched) = 0;
+
+  // Bulk helpers for the checked memory-transfer variants (§3.2.2).
+  void ClearRange(uint64_t addr, uint64_t size);
+  void CopyRange(uint64_t dst, uint64_t src, uint64_t size);
+  void MoveRange(uint64_t dst, uint64_t src, uint64_t size);
+
+  // Resident safe-region memory in bytes (the §5.2 memory-overhead metric).
+  virtual uint64_t MemoryBytes() const = 0;
+
+  // Number of live entries (diagnostics / tests).
+  virtual uint64_t EntryCount() const = 0;
+};
+
+std::unique_ptr<SafePointerStore> CreateSafeStore(StoreKind kind);
+
+}  // namespace cpi::runtime
+
+#endif  // CPI_SRC_RUNTIME_SAFE_STORE_H_

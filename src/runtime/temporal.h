@@ -1,0 +1,42 @@
+// Temporal-safety support: CETS-style allocation identifiers.
+//
+// Every heap allocation receives a fresh id; free() kills it. A pointer's
+// metadata carries the id of the object it is based on, so a dereference
+// after free is detected even if the address range was reused — "freeing an
+// array and allocating a new one with the same address creates a different
+// object" (§3). The paper's prototype is spatial-only; this service backs the
+// design's temporal extension (enabled via ProtectionFlags::temporal).
+#ifndef CPI_SRC_RUNTIME_TEMPORAL_H_
+#define CPI_SRC_RUNTIME_TEMPORAL_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace cpi::runtime {
+
+class TemporalIdService {
+ public:
+  // Id 0 is reserved for objects with static storage duration (globals,
+  // functions, stacks handled elsewhere); it is always live.
+  static constexpr uint64_t kStaticId = 0;
+
+  uint64_t Allocate() {
+    const uint64_t id = next_id_++;
+    live_.insert(id);
+    return id;
+  }
+
+  void Free(uint64_t id) { live_.erase(id); }
+
+  bool IsLive(uint64_t id) const { return id == kStaticId || live_.count(id) > 0; }
+
+  uint64_t live_count() const { return live_.size(); }
+
+ private:
+  uint64_t next_id_ = 1;
+  std::unordered_set<uint64_t> live_;
+};
+
+}  // namespace cpi::runtime
+
+#endif  // CPI_SRC_RUNTIME_TEMPORAL_H_

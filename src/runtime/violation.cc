@@ -1,0 +1,30 @@
+#include "src/runtime/violation.h"
+
+#include "src/support/check.h"
+
+namespace cpi::runtime {
+
+const char* ViolationName(Violation v) {
+  switch (v) {
+    case Violation::kNone: return "none";
+    case Violation::kSpatialOutOfBounds: return "spatial-out-of-bounds";
+    case Violation::kTemporalUseAfterFree: return "temporal-use-after-free";
+    case Violation::kForgedCodePointer: return "forged-code-pointer";
+    case Violation::kCfiBadTarget: return "cfi-bad-target";
+    case Violation::kStackCookieSmashed: return "stack-cookie-smashed";
+    case Violation::kDebugModeMismatch: return "debug-mode-mismatch";
+    case Violation::kSoftBoundViolation: return "softbound-violation";
+  }
+  CPI_UNREACHABLE();
+}
+
+const char* IsolationKindName(IsolationKind k) {
+  switch (k) {
+    case IsolationKind::kSegment: return "segment";
+    case IsolationKind::kInfoHiding: return "info-hiding";
+    case IsolationKind::kSfi: return "sfi";
+  }
+  CPI_UNREACHABLE();
+}
+
+}  // namespace cpi::runtime

@@ -1,0 +1,34 @@
+// Security-violation and trap taxonomy shared by the runtime and the VM.
+#ifndef CPI_SRC_RUNTIME_VIOLATION_H_
+#define CPI_SRC_RUNTIME_VIOLATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cpi::runtime {
+
+enum class Violation {
+  kNone = 0,
+  kSpatialOutOfBounds,  // bounds check failed on a sensitive dereference
+  kTemporalUseAfterFree,
+  kForgedCodePointer,   // indirect call through a non-safe code pointer
+  kCfiBadTarget,        // CFI baseline: target outside the valid set
+  kStackCookieSmashed,  // canary mismatch on return
+  kDebugModeMismatch,   // debug mode: regular copy diverged from safe copy
+  kSoftBoundViolation,  // full-memory-safety baseline check failed
+};
+
+const char* ViolationName(Violation v);
+
+// §3.2.3: how the safe region is shielded from regular memory operations.
+enum class IsolationKind {
+  kSegment,     // x86-32 style hardware segments: regular access simply traps
+  kInfoHiding,  // x86-64 style leak-proof randomisation of the region base
+  kSfi,         // software fault isolation: regular accesses are masked
+};
+
+const char* IsolationKindName(IsolationKind k);
+
+}  // namespace cpi::runtime
+
+#endif  // CPI_SRC_RUNTIME_VIOLATION_H_

@@ -1,0 +1,30 @@
+// Lightweight invariant-checking macros.
+//
+// CPI_CHECK aborts the process on violation; it is used for programmer errors
+// (broken invariants inside this library), never for errors caused by input
+// programs — those are reported through cpi::vm::Trap / cpi::Status instead.
+#ifndef CPI_SRC_SUPPORT_CHECK_H_
+#define CPI_SRC_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cpi {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CPI_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace cpi
+
+#define CPI_CHECK(expr)                                  \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::cpi::CheckFailed(__FILE__, __LINE__, #expr);     \
+    }                                                    \
+  } while (0)
+
+#define CPI_UNREACHABLE() ::cpi::CheckFailed(__FILE__, __LINE__, "unreachable")
+
+#endif  // CPI_SRC_SUPPORT_CHECK_H_

@@ -1,0 +1,71 @@
+#include "src/support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.h"
+
+namespace cpi {
+
+double Mean(const std::vector<double>& xs) {
+  CPI_CHECK(!xs.empty());
+  double sum = 0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double Median(std::vector<double> xs) {
+  CPI_CHECK(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  if (n % 2 == 1) {
+    return xs[n / 2];
+  }
+  return (xs[n / 2 - 1] + xs[n / 2]) / 2.0;
+}
+
+double Min(const std::vector<double>& xs) {
+  CPI_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  CPI_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Geomean(const std::vector<double>& xs) {
+  CPI_CHECK(!xs.empty());
+  double log_sum = 0;
+  for (double x : xs) {
+    CPI_CHECK(x > 0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double StdDev(const std::vector<double>& xs) {
+  CPI_CHECK(!xs.empty());
+  const double mean = Mean(xs);
+  double acc = 0;
+  for (double x : xs) {
+    acc += (x - mean) * (x - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double OverheadPercent(double measured, double baseline) {
+  CPI_CHECK(baseline > 0);
+  return (measured / baseline - 1.0) * 100.0;
+}
+
+double Percent(uint64_t a, uint64_t b) {
+  if (b == 0) {
+    return 0.0;
+  }
+  return 100.0 * static_cast<double>(a) / static_cast<double>(b);
+}
+
+}  // namespace cpi

@@ -1,0 +1,27 @@
+// Small statistics helpers used when aggregating benchmark results into the
+// summary rows the paper reports (Table 1 averages/medians/maxima, etc.).
+#ifndef CPI_SRC_SUPPORT_STATS_H_
+#define CPI_SRC_SUPPORT_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cpi {
+
+double Mean(const std::vector<double>& xs);
+double Median(std::vector<double> xs);  // by value: sorts a copy
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+double Geomean(const std::vector<double>& xs);  // inputs must be > 0
+double StdDev(const std::vector<double>& xs);
+
+// Relative overhead of `measured` vs `baseline`, as a percentage.
+// OverheadPercent(103, 100) == 3.0.
+double OverheadPercent(double measured, double baseline);
+
+// Percentage a/b (0 when b == 0).
+double Percent(uint64_t a, uint64_t b);
+
+}  // namespace cpi
+
+#endif  // CPI_SRC_SUPPORT_STATS_H_

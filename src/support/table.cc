@@ -1,0 +1,75 @@
+#include "src/support/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/support/check.h"
+
+namespace cpi {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CPI_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  CPI_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddSeparator() { rows_.emplace_back(); }
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "| " : " | ");
+      out << row[i];
+      out << std::string(widths[i] - row[i].size(), ' ');
+    }
+    out << " |\n";
+  };
+  auto emit_separator = [&] {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      out << (i == 0 ? "|-" : "-|-");
+      out << std::string(widths[i], '-');
+    }
+    out << "-|\n";
+  };
+
+  emit_row(headers_);
+  emit_separator();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_separator();
+    } else {
+      emit_row(row);
+    }
+  }
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Table::FormatPercent(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", value);
+  return buf;
+}
+
+std::string Table::FormatDouble(double value, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace cpi

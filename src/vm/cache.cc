@@ -1,0 +1,53 @@
+#include "src/vm/cache.h"
+
+#include "src/support/check.h"
+
+namespace cpi::vm {
+
+CacheModel::CacheModel() : CacheModel(Config{}) {}
+
+CacheModel::CacheModel(const Config& config) : config_(config) {
+  CPI_CHECK(config_.line_bytes > 0 && config_.ways > 0);
+  num_sets_ = config_.size_bytes / (config_.line_bytes * config_.ways);
+  CPI_CHECK(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0);
+  lines_.assign(num_sets_ * config_.ways, Line{});
+}
+
+uint64_t CacheModel::Access(uint64_t addr) {
+  ++tick_;
+  const uint64_t line_addr = addr / config_.line_bytes;
+  const uint64_t set = line_addr & (num_sets_ - 1);
+  Line* set_lines = &lines_[set * config_.ways];
+
+  for (uint64_t w = 0; w < config_.ways; ++w) {
+    if (set_lines[w].valid && set_lines[w].tag == line_addr) {
+      set_lines[w].lru = tick_;
+      ++hits_;
+      return config_.hit_cycles;
+    }
+  }
+
+  // Miss: fill the LRU way.
+  uint64_t victim = 0;
+  for (uint64_t w = 1; w < config_.ways; ++w) {
+    if (!set_lines[w].valid ||
+        (set_lines[victim].valid && set_lines[w].lru < set_lines[victim].lru)) {
+      victim = w;
+    }
+    if (!set_lines[victim].valid) {
+      break;
+    }
+  }
+  set_lines[victim] = Line{line_addr, tick_, true};
+  ++misses_;
+  return config_.miss_cycles;
+}
+
+void CacheModel::Reset() {
+  tick_ = hits_ = misses_ = 0;
+  for (Line& l : lines_) {
+    l = Line{};
+  }
+}
+
+}  // namespace cpi::vm

@@ -1,0 +1,56 @@
+// Simulated address-space layout (Fig. 2).
+//
+//   regular region (attacker-writable through memory bugs):
+//     code            [read/execute only, never writable]
+//     ro globals      [read-only data: string constants, jump tables]
+//     rw globals
+//     heap
+//     unsafe stacks   (the T' stacks of Fig. 2; the only stack when no
+//                      SafeStack pass ran)
+//   safe region (reachable only via intrinsics / compiler-generated frames):
+//     safe pointer store
+//     safe stacks
+//
+// The two regions are disjoint address ranges; no address pointing into the
+// safe region is ever stored in the regular region (the leak-proof
+// information-hiding argument of §3.2.3 — tests assert this invariant).
+#ifndef CPI_SRC_VM_LAYOUT_H_
+#define CPI_SRC_VM_LAYOUT_H_
+
+#include <cstdint>
+
+namespace cpi::vm {
+
+inline constexpr uint64_t kCodeBase = 0x0000'1000'0000ULL;
+inline constexpr uint64_t kCodeStride = 16;  // one "entry point" per function
+inline constexpr uint64_t kCodeLimit = 0x0000'1100'0000ULL;
+
+inline constexpr uint64_t kRoGlobalBase = 0x0000'2000'0000ULL;
+inline constexpr uint64_t kRwGlobalBase = 0x0000'3000'0000ULL;
+inline constexpr uint64_t kHeapBase = 0x0000'4000'0000ULL;
+inline constexpr uint64_t kHeapLimit = 0x0000'7000'0000ULL;
+
+// The regular stack grows down from here (unsafe stack under SafeStack).
+inline constexpr uint64_t kStackTop = 0x0000'7fff'f000ULL;
+inline constexpr uint64_t kStackLimit = 0x0000'7000'0000ULL;  // lowest valid
+
+// Everything at or above this base belongs to the safe region.
+inline constexpr uint64_t kSafeRegionBase = 0x6000'0000'0000ULL;
+// Safe stacks grow down from here.
+inline constexpr uint64_t kSafeStackTop = 0x6f00'0000'0000ULL;
+
+// Return tokens: values the VM uses to represent saved return addresses in
+// stack memory. Deliberately a distinct range so a corrupted token is
+// distinguishable from a code address (jumping to one or the other behaves
+// differently, as on real hardware).
+inline constexpr uint64_t kRetTokenBase = 0x0000'0800'0000'0000ULL;
+
+inline bool IsInSafeRegion(uint64_t addr) { return addr >= kSafeRegionBase; }
+inline bool IsCodeAddress(uint64_t addr) { return addr >= kCodeBase && addr < kCodeLimit; }
+inline bool IsRetToken(uint64_t addr) {
+  return addr >= kRetTokenBase && addr < kRetTokenBase + 0x0100'0000'0000ULL;
+}
+
+}  // namespace cpi::vm
+
+#endif  // CPI_SRC_VM_LAYOUT_H_

@@ -1,0 +1,1525 @@
+#include "src/vm/machine.h"
+
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "src/support/rng.h"
+#include "src/vm/layout.h"
+
+namespace cpi::vm {
+
+const char* RunStatusName(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kViolation: return "violation";
+    case RunStatus::kCrash: return "crash";
+    case RunStatus::kOutOfFuel: return "out-of-fuel";
+  }
+  CPI_UNREACHABLE();
+}
+
+namespace {
+
+using ir::BasicBlock;
+using ir::BinOp;
+using ir::CastKind;
+using ir::Function;
+using ir::Instruction;
+using ir::IntrinsicId;
+using ir::LibFunc;
+using ir::Opcode;
+using ir::StackKind;
+using ir::Type;
+using ir::Value;
+using ir::ValueKind;
+using runtime::EntryKind;
+using runtime::IsolationKind;
+using runtime::RegMeta;
+using runtime::SafeEntry;
+using runtime::TouchList;
+using runtime::Violation;
+
+// --- cost model ------------------------------------------------------------
+constexpr uint64_t kBaseCycles = 1;
+constexpr uint64_t kCallCycles = 3;
+constexpr uint64_t kAllocCycles = 24;
+constexpr uint64_t kFloatExtraCycles = 2;
+constexpr uint64_t kDivExtraCycles = 12;
+constexpr uint64_t kCheckCycles = 1;
+constexpr uint64_t kCfiCheckCycles = 3;
+constexpr uint64_t kSfiMaskCycles = 1;
+constexpr uint64_t kLibCallSetupCycles = 8;
+constexpr uint64_t kStackRegionBytes = 4 << 20;
+constexpr uint64_t kSbShadowBase = 0x5000'0000'0000ULL;
+constexpr uint64_t kMaxOutputWords = 1u << 22;
+
+uint64_t MaskToWidth(uint64_t v, int bits) {
+  if (bits >= 64) {
+    return v;
+  }
+  return v & ((1ULL << bits) - 1);
+}
+
+int64_t SignExtend(uint64_t v, int bits) {
+  if (bits >= 64) {
+    return static_cast<int64_t>(v);
+  }
+  const uint64_t sign = 1ULL << (bits - 1);
+  return static_cast<int64_t>((v ^ sign) - sign);
+}
+
+int TypeBits(const Type* t) {
+  if (t->IsInt()) {
+    return static_cast<const ir::IntType*>(t)->bits();
+  }
+  return 64;  // pointers and floats
+}
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, 8);
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  return bits;
+}
+
+struct HeapBlock {
+  uint64_t size = 0;
+  uint64_t temporal_id = 0;
+  bool live = false;
+};
+
+class Machine {
+ public:
+  Machine(const ir::Module& module, const RunOptions& options)
+      : module_(module),
+        options_(options),
+        cache_(options.cache),
+        store_(runtime::CreateSafeStore(options.store)) {}
+
+  RunResult Run();
+
+ private:
+  struct Frame {
+    const Function* func = nullptr;
+    std::vector<uint64_t> regs;
+    std::vector<RegMeta> meta;
+    const BasicBlock* bb = nullptr;
+    size_t ip = 0;
+    const Instruction* pending_call = nullptr;
+    uint64_t saved_sp = 0;
+    uint64_t saved_safe_sp = 0;
+    uint64_t ret_slot = 0;       // address of the saved-return-token word
+    bool ret_slot_safe = false;  // token lives in the safe region
+    uint64_t token = 0;
+    uint64_t cookie_addr = 0;  // 0: no cookie
+    bool no_continuation = false;
+  };
+
+  // --- setup ---------------------------------------------------------------
+  void LoadProgram();
+
+  // --- trap handling -------------------------------------------------------
+  void Trap(RunStatus status, Violation v, std::string message) {
+    if (done_) {
+      return;
+    }
+    done_ = true;
+    result_.status = status;
+    result_.violation = v;
+    result_.message = std::move(message);
+  }
+  void Crash(std::string message) {
+    Trap(RunStatus::kCrash, Violation::kNone, std::move(message));
+  }
+  void Abort(Violation v, std::string message) {
+    Trap(RunStatus::kViolation, v, std::move(message));
+  }
+
+  // --- cost accounting -----------------------------------------------------
+  void Cycles(uint64_t n) { result_.counters.cycles += n; }
+  void ChargeAccess(uint64_t addr) {
+    ++result_.counters.mem_accesses;
+    Cycles(cache_.Access(addr));
+  }
+  void ChargeRegularAccess(uint64_t addr) {
+    ChargeAccess(addr);
+    if (options_.isolation == IsolationKind::kSfi) {
+      Cycles(kSfiMaskCycles);  // the SFI mask on every regular access
+    }
+  }
+
+  // --- value plumbing ------------------------------------------------------
+  uint64_t Eval(const Frame& f, const Value* v) const;
+  RegMeta EvalMeta(const Frame& f, const Value* v) const;
+  void SetReg(Frame& f, const Instruction* inst, uint64_t value, const RegMeta& meta) {
+    f.regs[inst->value_id()] = value;
+    f.meta[inst->value_id()] = meta;
+  }
+
+  // --- routed memory access ------------------------------------------------
+  // Returns the backing memory for `addr`, enforcing safe-region isolation:
+  // only accesses whose provenance (`meta`) proves a compiler-generated
+  // safe-stack object may touch the safe region. Returns nullptr after
+  // trapping.
+  ByteMemory* Route(uint64_t addr, const RegMeta& meta, bool for_write);
+  bool DataRead(uint64_t addr, uint64_t size, const RegMeta& addr_meta, uint64_t* out);
+  bool DataWrite(uint64_t addr, uint64_t size, const RegMeta& addr_meta, uint64_t value);
+
+  // Byte-granular helpers for the libc-style routines; charge per 8-byte
+  // chunk.
+  bool ReadByteRouted(uint64_t addr, const RegMeta& meta, uint8_t* out);
+  bool WriteByteRouted(uint64_t addr, const RegMeta& meta, uint8_t value);
+  void ChargeChunked(uint64_t addr, uint64_t len);
+
+  // --- frames ---------------------------------------------------------------
+  bool PushFrame(const Function* callee, const std::vector<uint64_t>& args,
+                 const std::vector<RegMeta>& arg_meta, bool no_continuation);
+  void PopFrame();
+  void ReturnToCaller(uint64_t value, const RegMeta& meta);
+
+  // --- execution ------------------------------------------------------------
+  void Step();
+  void ExecBinOp(Frame& f, const Instruction* inst);
+  void ExecCast(Frame& f, const Instruction* inst);
+  void ExecLibCall(Frame& f, const Instruction* inst);
+  void ExecIntrinsic(Frame& f, const Instruction* inst);
+  void ExecRet(Frame& f, const Instruction* inst);
+  void ExecCallCommon(Frame& f, const Instruction* inst, const Function* callee,
+                      size_t first_arg_index);
+
+  // --- safe store helpers ---------------------------------------------------
+  void StoreSet(uint64_t addr, const SafeEntry& entry) {
+    TouchList t;
+    store_->Set(addr, entry, &t);
+    ChargeStoreTouches(t);
+  }
+  SafeEntry StoreGet(uint64_t addr) {
+    TouchList t;
+    SafeEntry e = store_->Get(addr, &t);
+    ChargeStoreTouches(t);
+    return e;
+  }
+  void StoreClear(uint64_t addr) {
+    TouchList t;
+    store_->Clear(addr, &t);
+    ChargeStoreTouches(t);
+  }
+  void ChargeStoreTouches(const TouchList& t) {
+    ++result_.counters.safe_store_ops;
+    for (int i = 0; i < t.count; ++i) {
+      ChargeAccess(t.addrs[i]);
+    }
+  }
+  void ChargeCheck() {
+    ++result_.counters.checks;
+    if (!options_.mpx_assist) {
+      Cycles(kCheckCycles);
+    }
+  }
+
+  // Temporal liveness (only enforced when the module was instrumented with
+  // the temporal extension).
+  bool TemporallyLive(const RegMeta& meta) const {
+    return !module_.protection().temporal || temporal_.IsLive(meta.temporal_id);
+  }
+
+  const Function* FunctionAtAddress(uint64_t addr) const {
+    if (!IsCodeAddress(addr) || (addr - kCodeBase) % kCodeStride != 0) {
+      return nullptr;
+    }
+    const uint64_t index = (addr - kCodeBase) / kCodeStride;
+    if (index >= module_.functions().size()) {
+      return nullptr;
+    }
+    return module_.functions()[index].get();
+  }
+  uint64_t CodeAddressOf(const Function* f) const {
+    auto it = code_addr_.find(f);
+    CPI_CHECK(it != code_addr_.end());
+    return it->second;
+  }
+
+  // --- state ----------------------------------------------------------------
+  const ir::Module& module_;
+  RunOptions options_;
+  RunResult result_;
+  bool done_ = false;
+
+  ByteMemory regular_;     // Mu
+  ByteMemory safe_stacks_; // byte-addressable part of Ms
+  CacheModel cache_;
+  std::unique_ptr<runtime::SafePointerStore> store_;
+  runtime::TemporalIdService temporal_;
+  std::unordered_map<uint64_t, RegMeta> sb_shadow_;  // SoftBound baseline
+
+  std::vector<Frame> frames_;
+  std::unordered_map<const Function*, uint64_t> code_addr_;
+  std::unordered_map<const ir::GlobalVariable*, uint64_t> global_addr_;
+
+  // Heap.
+  uint64_t heap_next_ = kHeapBase;
+  std::map<uint64_t, HeapBlock> heap_blocks_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> free_lists_;  // size -> addrs
+
+  uint64_t sp_ = kStackTop - 16;
+  uint64_t safe_sp_ = kSafeStackTop - 16;
+  uint64_t token_counter_ = 0;
+  uint64_t cookie_value_ = 0;
+  size_t input_word_pos_ = 0;
+  size_t input_byte_pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Setup
+
+void Machine::LoadProgram() {
+  const ProgramLayout layout = ComputeProgramLayout(module_);
+  for (const auto& [fn, addr] : layout.code) {
+    code_addr_[fn] = addr;
+  }
+  for (const auto& g : module_.globals()) {
+    const uint64_t addr = layout.GlobalAddress(g.get());
+    const uint64_t size = g->type()->SizeInBytes();
+    global_addr_[g.get()] = addr;
+    regular_.MapRange(addr, size, /*writable=*/!g->is_const());
+    if (!g->initializer().empty()) {
+      regular_.LoaderWrite(addr, g->initializer().data(),
+                           std::min<uint64_t>(size, g->initializer().size()));
+    }
+  }
+
+  // Stacks.
+  regular_.MapRange(kStackTop - kStackRegionBytes, kStackRegionBytes, /*writable=*/true);
+  safe_stacks_.MapRange(kSafeStackTop - kStackRegionBytes, kStackRegionBytes,
+                        /*writable=*/true);
+
+  cookie_value_ = Rng(options_.seed ^ 0xc00c1e).NextU64() | 1;
+}
+
+// ---------------------------------------------------------------------------
+// Values
+
+uint64_t Machine::Eval(const Frame& f, const Value* v) const {
+  switch (v->value_kind()) {
+    case ValueKind::kConstInt: {
+      const auto* c = static_cast<const ir::ConstantInt*>(v);
+      return MaskToWidth(c->value(), TypeBits(c->type()));
+    }
+    case ValueKind::kConstFloat:
+      return DoubleToBits(static_cast<const ir::ConstantFloat*>(v)->value());
+    case ValueKind::kConstNull:
+      return 0;
+    case ValueKind::kArgument:
+    case ValueKind::kInstruction:
+      CPI_CHECK(v->value_id() != ir::kInvalidValueId);
+      return f.regs[v->value_id()];
+  }
+  CPI_UNREACHABLE();
+}
+
+RegMeta Machine::EvalMeta(const Frame& f, const Value* v) const {
+  switch (v->value_kind()) {
+    case ValueKind::kConstInt:
+    case ValueKind::kConstFloat:
+    case ValueKind::kConstNull:
+      return RegMeta::None();
+    case ValueKind::kArgument:
+    case ValueKind::kInstruction:
+      return f.meta[v->value_id()];
+  }
+  CPI_UNREACHABLE();
+}
+
+// ---------------------------------------------------------------------------
+// Routed memory access: the isolation mechanism of §3.2.3.
+
+ByteMemory* Machine::Route(uint64_t addr, const RegMeta& meta, bool for_write) {
+  if (!IsInSafeRegion(addr)) {
+    return &regular_;
+  }
+  // Compiler-generated access to a safe-stack object: the provenance of the
+  // address proves it is based on an object that itself lives in the safe
+  // region. Anything else — a forged or corrupted address — hits the
+  // isolation mechanism.
+  if (meta.IsSafeValue() && meta.kind == EntryKind::kData && meta.lower >= kSafeRegionBase &&
+      meta.lower <= meta.upper) {
+    return &safe_stacks_;
+  }
+  switch (options_.isolation) {
+    case IsolationKind::kSegment:
+      // Segment limits: the hardware faults immediately.
+      Crash("segment violation: regular access to the safe region");
+      return nullptr;
+    case IsolationKind::kInfoHiding:
+      // The safe region base is randomised in a 48-bit space and its address
+      // never leaks to the regular region; a guessed address is unmapped.
+      Crash("fault: access to unmapped address (safe region is hidden)");
+      return nullptr;
+    case IsolationKind::kSfi: {
+      // The masked address falls back into the regular region.
+      (void)for_write;
+      return &regular_;
+    }
+  }
+  CPI_UNREACHABLE();
+}
+
+bool Machine::DataRead(uint64_t addr, uint64_t size, const RegMeta& addr_meta, uint64_t* out) {
+  ByteMemory* mem = Route(addr, addr_meta, /*for_write=*/false);
+  if (mem == nullptr) {
+    return false;
+  }
+  uint64_t effective = addr;
+  if (mem == &regular_ && IsInSafeRegion(addr)) {
+    effective = addr & (kSafeRegionBase - 1);  // SFI mask
+  }
+  uint64_t raw = 0;
+  const MemFault fault = mem->Read(effective, &raw, size);
+  if (fault != MemFault::kNone) {
+    Crash("fault: read of unmapped address");
+    return false;
+  }
+  if (mem == &regular_) {
+    ChargeRegularAccess(effective);
+  } else {
+    ChargeAccess(effective);
+  }
+  *out = raw;
+  return true;
+}
+
+bool Machine::DataWrite(uint64_t addr, uint64_t size, const RegMeta& addr_meta, uint64_t value) {
+  ByteMemory* mem = Route(addr, addr_meta, /*for_write=*/true);
+  if (mem == nullptr) {
+    return false;
+  }
+  uint64_t effective = addr;
+  if (mem == &regular_ && IsInSafeRegion(addr)) {
+    effective = addr & (kSafeRegionBase - 1);
+  }
+  const MemFault fault = mem->Write(effective, &value, size);
+  if (fault == MemFault::kUnmapped) {
+    Crash("fault: write to unmapped address");
+    return false;
+  }
+  if (fault == MemFault::kReadOnly) {
+    Crash("fault: write to read-only memory");
+    return false;
+  }
+  if (mem == &regular_) {
+    ChargeRegularAccess(effective);
+  } else {
+    ChargeAccess(effective);
+  }
+  return true;
+}
+
+bool Machine::ReadByteRouted(uint64_t addr, const RegMeta& meta, uint8_t* out) {
+  ByteMemory* mem = Route(addr, meta, /*for_write=*/false);
+  if (mem == nullptr) {
+    return false;
+  }
+  if (mem->ReadByte(addr, out) != MemFault::kNone) {
+    Crash("fault: read of unmapped address");
+    return false;
+  }
+  return true;
+}
+
+bool Machine::WriteByteRouted(uint64_t addr, const RegMeta& meta, uint8_t value) {
+  ByteMemory* mem = Route(addr, meta, /*for_write=*/true);
+  if (mem == nullptr) {
+    return false;
+  }
+  const MemFault fault = mem->WriteByte(addr, value);
+  if (fault != MemFault::kNone) {
+    Crash(fault == MemFault::kReadOnly ? "fault: write to read-only memory"
+                                       : "fault: write to unmapped address");
+    return false;
+  }
+  return true;
+}
+
+void Machine::ChargeChunked(uint64_t addr, uint64_t len) {
+  // One cache access per touched 8-byte chunk plus a cycle per 16 bytes of
+  // work — the cost of a tuned memcpy loop.
+  for (uint64_t a = addr & ~7ULL; a < addr + len; a += 8) {
+    ChargeRegularAccess(a);
+  }
+  Cycles(len / 16 + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+
+bool Machine::PushFrame(const Function* callee, const std::vector<uint64_t>& args,
+                        const std::vector<RegMeta>& arg_meta, bool no_continuation) {
+  if (frames_.size() > 2000) {
+    Crash("stack overflow: call depth limit");
+    return false;
+  }
+  ++result_.counters.calls;
+  Cycles(kCallCycles);
+
+  Frame f;
+  f.func = callee;
+  f.regs.assign(callee->register_count(), 0);
+  f.meta.assign(callee->register_count(), RegMeta::None());
+  CPI_CHECK(args.size() == callee->args().size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    f.regs[callee->args()[i]->value_id()] = args[i];
+    f.meta[callee->args()[i]->value_id()] = arg_meta[i];
+  }
+  f.bb = callee->entry();
+  f.ip = 0;
+  f.saved_sp = sp_;
+  f.saved_safe_sp = safe_sp_;
+  f.no_continuation = no_continuation;
+  f.token = kRetTokenBase + (++token_counter_ << 4);
+
+  const bool safe_stack = module_.protection().safe_stack;
+  if (safe_stack) {
+    safe_sp_ -= 8;
+    f.ret_slot = safe_sp_;
+    f.ret_slot_safe = true;
+    if (safe_stacks_.WriteU64(f.ret_slot, f.token) != MemFault::kNone) {
+      Crash("stack overflow: safe stack exhausted");
+      return false;
+    }
+    ChargeAccess(f.ret_slot);
+  } else {
+    sp_ -= 8;
+    f.ret_slot = sp_;
+    f.ret_slot_safe = false;
+    if (regular_.WriteU64(f.ret_slot, f.token) != MemFault::kNone) {
+      Crash("stack overflow: stack exhausted");
+      return false;
+    }
+    ChargeRegularAccess(f.ret_slot);
+    if (callee->has_stack_cookie()) {
+      sp_ -= 8;
+      f.cookie_addr = sp_;
+      regular_.WriteU64(f.cookie_addr, cookie_value_);
+      ChargeRegularAccess(f.cookie_addr);
+    }
+  }
+
+  frames_.push_back(std::move(f));
+  return true;
+}
+
+void Machine::PopFrame() {
+  CPI_CHECK(!frames_.empty());
+  sp_ = frames_.back().saved_sp;
+  safe_sp_ = frames_.back().saved_safe_sp;
+  frames_.pop_back();
+}
+
+void Machine::ReturnToCaller(uint64_t value, const RegMeta& meta) {
+  PopFrame();
+  if (frames_.empty()) {
+    done_ = true;
+    result_.status = RunStatus::kOk;
+    result_.exit_code = value;
+    return;
+  }
+  Frame& caller = frames_.back();
+  CPI_CHECK(caller.pending_call != nullptr);
+  if (!caller.pending_call->type()->IsVoid()) {
+    SetReg(caller, caller.pending_call, value, meta);
+  }
+  caller.pending_call = nullptr;
+  ++caller.ip;
+}
+
+// ---------------------------------------------------------------------------
+// Main loop
+
+RunResult Machine::Run() {
+  LoadProgram();
+
+  const Function* main_fn = module_.FindFunction("main");
+  CPI_CHECK(main_fn != nullptr);
+  CPI_CHECK(main_fn->args().empty());
+  PushFrame(main_fn, {}, {}, /*no_continuation=*/false);
+
+  while (!done_) {
+    if (result_.counters.instructions >= options_.max_steps) {
+      Trap(RunStatus::kOutOfFuel, Violation::kNone, "step budget exhausted");
+      break;
+    }
+    Step();
+  }
+
+  result_.counters.cache_hits = cache_.hits();
+  result_.counters.cache_misses = cache_.misses();
+  result_.memory.regular_bytes = regular_.mapped_bytes();
+  result_.memory.safe_store_bytes = store_->MemoryBytes();
+  result_.memory.safe_stack_bytes = safe_stacks_.mapped_bytes();
+  result_.memory.safe_store_entries = store_->EntryCount();
+  return result_;
+}
+
+void Machine::Step() {
+  Frame& f = frames_.back();
+  CPI_CHECK(f.ip < f.bb->instructions().size());
+  const Instruction* inst = f.bb->instructions()[f.ip];
+  ++result_.counters.instructions;
+  Cycles(kBaseCycles);
+
+  switch (inst->op()) {
+    case Opcode::kAlloca: {
+      const Type* t = inst->extra_type();
+      const uint64_t size = std::max<uint64_t>(t->SizeInBytes(), 1);
+      const uint64_t align = std::max<uint64_t>(ir::AlignmentOf(t), 1);
+      const bool on_safe = module_.protection().safe_stack &&
+                           inst->stack_kind() != StackKind::kUnsafe;
+      uint64_t& sp = on_safe ? safe_sp_ : sp_;
+      sp -= size;
+      sp &= ~(align - 1);
+      const uint64_t addr = sp;
+      SetReg(f, inst, addr, RegMeta::Data(addr, addr + size, runtime::TemporalIdService::kStaticId));
+      ++f.ip;
+      break;
+    }
+    case Opcode::kLoad: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      const RegMeta addr_meta = EvalMeta(f, inst->operand(0));
+      const uint64_t size = inst->type()->SizeInBytes();
+      uint64_t raw = 0;
+      if (!DataRead(addr, size, addr_meta, &raw)) {
+        return;
+      }
+      SetReg(f, inst, raw, RegMeta::None());
+      ++f.ip;
+      break;
+    }
+    case Opcode::kStore: {
+      const uint64_t value = Eval(f, inst->operand(0));
+      const uint64_t addr = Eval(f, inst->operand(1));
+      const RegMeta addr_meta = EvalMeta(f, inst->operand(1));
+      const Type* pointee =
+          static_cast<const ir::PointerType*>(inst->operand(1)->type())->pointee();
+      const uint64_t size =
+          pointee->IsVoid() ? 8 : pointee->SizeInBytes();
+      if (!DataWrite(addr, size, addr_meta, value)) {
+        return;
+      }
+      ++f.ip;
+      break;
+    }
+    case Opcode::kFieldAddr: {
+      const uint64_t base = Eval(f, inst->operand(0));
+      const RegMeta base_meta = EvalMeta(f, inst->operand(0));
+      const auto* st = static_cast<const ir::StructType*>(
+          static_cast<const ir::PointerType*>(inst->operand(0)->type())->pointee());
+      const ir::StructField& field = st->fields()[inst->field_index()];
+      const uint64_t addr = base + field.offset;
+      RegMeta meta = RegMeta::None();
+      if (base_meta.IsSafeValue() && base_meta.kind == EntryKind::kData) {
+        // Sub-object narrowing: the field is its own target object (§3,
+        // based-on case (iii)).
+        meta = RegMeta::Data(addr, addr + field.type->SizeInBytes(), base_meta.temporal_id);
+      }
+      SetReg(f, inst, addr, meta);
+      ++f.ip;
+      break;
+    }
+    case Opcode::kIndexAddr: {
+      const uint64_t base = Eval(f, inst->operand(0));
+      const int64_t index = SignExtend(Eval(f, inst->operand(1)),
+                                       TypeBits(inst->operand(1)->type()));
+      const Type* pointee =
+          static_cast<const ir::PointerType*>(inst->operand(0)->type())->pointee();
+      const uint64_t elem_size = pointee->IsArray()
+                                     ? static_cast<const ir::ArrayType*>(pointee)->element()
+                                           ->SizeInBytes()
+                                     : pointee->SizeInBytes();
+      const uint64_t addr = base + static_cast<uint64_t>(index) * elem_size;
+      // Array indexing stays based on the same target object: metadata
+      // propagates unchanged (based-on case (iv)).
+      SetReg(f, inst, addr, EvalMeta(f, inst->operand(0)));
+      ++f.ip;
+      break;
+    }
+    case Opcode::kBinOp:
+      ExecBinOp(f, inst);
+      break;
+    case Opcode::kCast:
+      ExecCast(f, inst);
+      break;
+    case Opcode::kSelect: {
+      const uint64_t cond = Eval(f, inst->operand(0));
+      const Value* chosen = cond != 0 ? inst->operand(1) : inst->operand(2);
+      SetReg(f, inst, Eval(f, chosen), EvalMeta(f, chosen));
+      ++f.ip;
+      break;
+    }
+    case Opcode::kCall:
+      ExecCallCommon(f, inst, inst->callee(), /*first_arg_index=*/0);
+      break;
+    case Opcode::kIndirectCall: {
+      const uint64_t target = Eval(f, inst->operand(0));
+      const Function* callee = FunctionAtAddress(target);
+      if (callee == nullptr) {
+        Crash("indirect call to a non-code address");
+        return;
+      }
+      if (callee->type()->params().size() != inst->operands().size() - 1) {
+        Crash("indirect call with mismatched signature");
+        return;
+      }
+      ExecCallCommon(f, inst, callee, /*first_arg_index=*/1);
+      break;
+    }
+    case Opcode::kLibCall:
+      ExecLibCall(f, inst);
+      break;
+    case Opcode::kMalloc: {
+      const uint64_t requested = Eval(f, inst->operand(0));
+      const uint64_t size = std::max<uint64_t>((requested + 15) & ~15ULL, 16);
+      Cycles(kAllocCycles);
+      uint64_t addr = 0;
+      auto& free_list = free_lists_[size];
+      if (!free_list.empty()) {
+        addr = free_list.back();
+        free_list.pop_back();
+      } else {
+        if (heap_next_ + size > kHeapLimit) {
+          Crash("out of memory");
+          return;
+        }
+        addr = heap_next_;
+        heap_next_ += size;
+        regular_.MapRange(addr, size, /*writable=*/true);
+      }
+      const uint64_t id = temporal_.Allocate();
+      heap_blocks_[addr] = HeapBlock{size, id, true};
+      SetReg(f, inst, addr, RegMeta::Data(addr, addr + requested, id));
+      ++f.ip;
+      break;
+    }
+    case Opcode::kFree: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      Cycles(kAllocCycles);
+      if (addr == 0) {  // free(NULL) is a no-op
+        ++f.ip;
+        break;
+      }
+      auto it = heap_blocks_.find(addr);
+      if (it == heap_blocks_.end() || !it->second.live) {
+        Crash("invalid or double free");
+        return;
+      }
+      it->second.live = false;
+      temporal_.Free(it->second.temporal_id);
+      free_lists_[it->second.size].push_back(addr);
+      ++f.ip;
+      break;
+    }
+    case Opcode::kFuncAddr: {
+      const uint64_t addr = CodeAddressOf(inst->callee());
+      SetReg(f, inst, addr, RegMeta::Code(addr));
+      ++f.ip;
+      break;
+    }
+    case Opcode::kGlobalAddr: {
+      auto it = global_addr_.find(inst->global());
+      CPI_CHECK(it != global_addr_.end());
+      const uint64_t addr = it->second;
+      SetReg(f, inst, addr,
+             RegMeta::Data(addr, addr + inst->global()->type()->SizeInBytes(),
+                           runtime::TemporalIdService::kStaticId));
+      ++f.ip;
+      break;
+    }
+    case Opcode::kBr:
+      f.bb = inst->successor(0);
+      f.ip = 0;
+      break;
+    case Opcode::kCondBr: {
+      const uint64_t cond = Eval(f, inst->operand(0));
+      f.bb = inst->successor(cond != 0 ? 0 : 1);
+      f.ip = 0;
+      break;
+    }
+    case Opcode::kRet:
+      ExecRet(f, inst);
+      break;
+    case Opcode::kInput: {
+      uint64_t v = 0;
+      if (input_word_pos_ < options_.input_words.size()) {
+        v = options_.input_words[input_word_pos_++];
+      }
+      Cycles(2);
+      SetReg(f, inst, v, RegMeta::None());
+      ++f.ip;
+      break;
+    }
+    case Opcode::kOutput: {
+      if (result_.output.size() >= kMaxOutputWords) {
+        Crash("output limit exceeded");
+        return;
+      }
+      Cycles(2);
+      result_.output.push_back(Eval(f, inst->operand(0)));
+      ++f.ip;
+      break;
+    }
+    case Opcode::kIntrinsic:
+      ExecIntrinsic(f, inst);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+
+void Machine::ExecBinOp(Frame& f, const Instruction* inst) {
+  const Value* a = inst->operand(0);
+  const Value* b = inst->operand(1);
+  const uint64_t x = Eval(f, a);
+  const uint64_t y = Eval(f, b);
+  const int bits = TypeBits(a->type());
+  const BinOp op = inst->binop();
+  uint64_t r = 0;
+
+  if (op >= BinOp::kFAdd) {
+    Cycles(kFloatExtraCycles);
+    const double fx = BitsToDouble(x);
+    const double fy = BitsToDouble(y);
+    switch (op) {
+      case BinOp::kFAdd: r = DoubleToBits(fx + fy); break;
+      case BinOp::kFSub: r = DoubleToBits(fx - fy); break;
+      case BinOp::kFMul: r = DoubleToBits(fx * fy); break;
+      case BinOp::kFDiv:
+        Cycles(kDivExtraCycles);
+        r = DoubleToBits(fy == 0.0 ? 0.0 : fx / fy);
+        break;
+      case BinOp::kFEq: r = fx == fy; break;
+      case BinOp::kFNe: r = fx != fy; break;
+      case BinOp::kFLt: r = fx < fy; break;
+      case BinOp::kFLe: r = fx <= fy; break;
+      case BinOp::kFGt: r = fx > fy; break;
+      case BinOp::kFGe: r = fx >= fy; break;
+      default: CPI_UNREACHABLE();
+    }
+    SetReg(f, inst, r, RegMeta::None());
+    ++f.ip;
+    return;
+  }
+
+  const int64_t sx = SignExtend(x, bits);
+  const int64_t sy = SignExtend(y, bits);
+  switch (op) {
+    case BinOp::kAdd: r = x + y; break;
+    case BinOp::kSub: r = x - y; break;
+    case BinOp::kMul: r = x * y; break;
+    case BinOp::kSDiv:
+      Cycles(kDivExtraCycles);
+      if (sy == 0) { Crash("division by zero"); return; }
+      if (sx == INT64_MIN && sy == -1) { r = static_cast<uint64_t>(INT64_MIN); break; }
+      r = static_cast<uint64_t>(sx / sy);
+      break;
+    case BinOp::kUDiv:
+      Cycles(kDivExtraCycles);
+      if (y == 0) { Crash("division by zero"); return; }
+      r = x / y;
+      break;
+    case BinOp::kSRem:
+      Cycles(kDivExtraCycles);
+      if (sy == 0) { Crash("division by zero"); return; }
+      if (sx == INT64_MIN && sy == -1) { r = 0; break; }
+      r = static_cast<uint64_t>(sx % sy);
+      break;
+    case BinOp::kURem:
+      Cycles(kDivExtraCycles);
+      if (y == 0) { Crash("division by zero"); return; }
+      r = x % y;
+      break;
+    case BinOp::kAnd: r = x & y; break;
+    case BinOp::kOr: r = x | y; break;
+    case BinOp::kXor: r = x ^ y; break;
+    case BinOp::kShl: r = x << (y & 63); break;
+    case BinOp::kLShr: r = x >> (y & 63); break;
+    case BinOp::kAShr: r = static_cast<uint64_t>(sx >> (y & 63)); break;
+    case BinOp::kEq: r = x == y; break;
+    case BinOp::kNe: r = x != y; break;
+    case BinOp::kSLt: r = sx < sy; break;
+    case BinOp::kSLe: r = sx <= sy; break;
+    case BinOp::kSGt: r = sx > sy; break;
+    case BinOp::kSGe: r = sx >= sy; break;
+    case BinOp::kULt: r = x < y; break;
+    case BinOp::kULe: r = x <= y; break;
+    default: CPI_UNREACHABLE();
+  }
+  r = MaskToWidth(r, TypeBits(inst->type()));
+
+  // Pointer arithmetic propagates the based-on metadata of the pointer
+  // operand (based-on case (iv)).
+  RegMeta meta = RegMeta::None();
+  if (op == BinOp::kAdd || op == BinOp::kSub) {
+    const RegMeta ma = EvalMeta(f, a);
+    const RegMeta mb = EvalMeta(f, b);
+    if (ma.IsSafeValue() && !mb.IsSafeValue()) {
+      meta = ma;
+    } else if (mb.IsSafeValue() && !ma.IsSafeValue() && op == BinOp::kAdd) {
+      meta = mb;
+    }
+  }
+  SetReg(f, inst, r, meta);
+  ++f.ip;
+}
+
+void Machine::ExecCast(Frame& f, const Instruction* inst) {
+  const uint64_t x = Eval(f, inst->operand(0));
+  const RegMeta meta = EvalMeta(f, inst->operand(0));
+  const int src_bits = TypeBits(inst->operand(0)->type());
+  const int dst_bits = TypeBits(inst->type());
+  uint64_t r = x;
+  RegMeta out = meta;  // Levee's relaxation: casts propagate metadata
+  switch (inst->cast_kind()) {
+    case CastKind::kBitcast:
+    case CastKind::kPtrToInt:
+    case CastKind::kIntToPtr:
+      break;
+    case CastKind::kTrunc:
+      r = MaskToWidth(x, dst_bits);
+      if (dst_bits < 64) {
+        out = RegMeta::None();  // a truncated pointer is no longer a pointer
+      }
+      break;
+    case CastKind::kZExt:
+      r = MaskToWidth(x, src_bits);
+      break;
+    case CastKind::kSExt:
+      r = MaskToWidth(static_cast<uint64_t>(SignExtend(x, src_bits)), dst_bits);
+      break;
+    case CastKind::kIntToFloat:
+      r = DoubleToBits(static_cast<double>(SignExtend(x, src_bits)));
+      out = RegMeta::None();
+      break;
+    case CastKind::kFloatToInt:
+      r = MaskToWidth(static_cast<uint64_t>(static_cast<int64_t>(BitsToDouble(x))), dst_bits);
+      out = RegMeta::None();
+      break;
+  }
+  SetReg(f, inst, r, out);
+  ++f.ip;
+}
+
+// ---------------------------------------------------------------------------
+// Calls and returns
+
+void Machine::ExecCallCommon(Frame& f, const Instruction* inst, const Function* callee,
+                             size_t first_arg_index) {
+  std::vector<uint64_t> args;
+  std::vector<RegMeta> metas;
+  for (size_t i = first_arg_index; i < inst->operands().size(); ++i) {
+    args.push_back(Eval(f, inst->operand(i)));
+    metas.push_back(EvalMeta(f, inst->operand(i)));
+  }
+  f.pending_call = inst;
+  PushFrame(callee, args, metas, /*no_continuation=*/false);
+}
+
+void Machine::ExecRet(Frame& f, const Instruction* inst) {
+  // Stack-cookie baseline: validate the canary before using the return slot.
+  if (f.cookie_addr != 0) {
+    uint64_t cookie = 0;
+    regular_.ReadU64(f.cookie_addr, &cookie);
+    ChargeRegularAccess(f.cookie_addr);
+    if (cookie != cookie_value_) {
+      Abort(Violation::kStackCookieSmashed, "stack smashing detected");
+      return;
+    }
+  }
+
+  uint64_t token = 0;
+  if (f.ret_slot_safe) {
+    safe_stacks_.ReadU64(f.ret_slot, &token);
+    ChargeAccess(f.ret_slot);
+  } else {
+    regular_.ReadU64(f.ret_slot, &token);
+    ChargeRegularAccess(f.ret_slot);
+  }
+
+  if (token == f.token) {
+    if (f.no_continuation) {
+      Crash("return from a hijacked context");
+      return;
+    }
+    uint64_t value = 0;
+    RegMeta meta = RegMeta::None();
+    if (!inst->operands().empty()) {
+      value = Eval(f, inst->operand(0));
+      meta = EvalMeta(f, inst->operand(0));
+    }
+    ReturnToCaller(value, meta);
+    return;
+  }
+
+  // The saved return address was corrupted: transfer control to wherever it
+  // points, exactly like the ret instruction would.
+  const Function* target = FunctionAtAddress(token);
+  if (target != nullptr) {
+    ++result_.counters.hijack_transfers;
+    PopFrame();
+    if (!frames_.empty()) {
+      frames_.back().pending_call = nullptr;
+    }
+    std::vector<uint64_t> args(target->args().size(), 0);
+    std::vector<RegMeta> metas(target->args().size(), RegMeta::None());
+    PushFrame(target, args, metas, /*no_continuation=*/true);
+    return;
+  }
+  Crash("return to a non-code address");
+}
+
+// ---------------------------------------------------------------------------
+// Libc-style routines
+
+void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
+  Cycles(kLibCallSetupCycles);
+  const LibFunc func = inst->lib_func();
+  const ir::ProtectionFlags& prot = module_.protection();
+
+  auto value_of = [&](size_t i) { return Eval(f, inst->operand(i)); };
+  auto meta_of = [&](size_t i) { return EvalMeta(f, inst->operand(i)); };
+
+  // C-string length helper (bounded scan so a missing NUL faults eventually).
+  auto scan_strlen = [&](uint64_t addr, const RegMeta& meta, uint64_t* len) {
+    for (uint64_t i = 0;; ++i) {
+      uint8_t b = 0;
+      if (!ReadByteRouted(addr + i, meta, &b)) {
+        return false;
+      }
+      if (b == 0) {
+        *len = i;
+        return true;
+      }
+    }
+  };
+
+  // SoftBound baseline: a checked libcall validates the whole touched range
+  // against the pointer's bounds before a single byte moves.
+  auto sb_range_check = [&](const RegMeta& meta, uint64_t addr, uint64_t n) {
+    if (!prot.softbound || !inst->checked()) {
+      return true;
+    }
+    ChargeCheck();
+    if (!meta.IsSafeValue() || !meta.InBounds(addr, n)) {
+      Abort(Violation::kSoftBoundViolation, "softbound: libcall range check failed");
+      return false;
+    }
+    return true;
+  };
+
+  // CPI/CPS checked variants move safe-store entries along with the bytes
+  // (§3.2.2 type-specific memcpy); charge one store op per word.
+  auto move_entries = [&](uint64_t dst, uint64_t src, uint64_t n, bool is_move) {
+    if (!(prot.cpi || prot.cps) || !inst->checked()) {
+      return;
+    }
+    if (is_move) {
+      store_->MoveRange(dst, src, n);
+    } else {
+      store_->CopyRange(dst, src, n);
+    }
+    result_.counters.safe_store_ops += n / 8 + 1;
+    Cycles((n / 8 + 1) * 2);
+  };
+  auto clear_entries = [&](uint64_t dst, uint64_t n) {
+    if (!(prot.cpi || prot.cps) || !inst->checked()) {
+      return;
+    }
+    store_->ClearRange(dst, n);
+    result_.counters.safe_store_ops += n / 8 + 1;
+    Cycles((n / 8 + 1) * 2);
+  };
+
+  auto copy_bytes = [&](uint64_t dst, const RegMeta& dm, uint64_t src, const RegMeta& sm,
+                        uint64_t n, bool backward) -> bool {
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t off = backward ? n - 1 - i : i;
+      uint8_t b = 0;
+      if (!ReadByteRouted(src + off, sm, &b) || !WriteByteRouted(dst + off, dm, b)) {
+        return false;
+      }
+    }
+    ChargeChunked(src, n);
+    ChargeChunked(dst, n);
+    return true;
+  };
+
+  switch (func) {
+    case LibFunc::kStrlen: {
+      uint64_t len = 0;
+      if (!scan_strlen(value_of(0), meta_of(0), &len)) {
+        return;
+      }
+      ChargeChunked(value_of(0), len + 1);
+      SetReg(f, inst, len, RegMeta::None());
+      break;
+    }
+    case LibFunc::kStrcmp: {
+      const uint64_t a = value_of(0);
+      const uint64_t b = value_of(1);
+      const RegMeta ma = meta_of(0);
+      const RegMeta mb = meta_of(1);
+      uint64_t i = 0;
+      int64_t r = 0;
+      for (;; ++i) {
+        uint8_t ca = 0;
+        uint8_t cb = 0;
+        if (!ReadByteRouted(a + i, ma, &ca) || !ReadByteRouted(b + i, mb, &cb)) {
+          return;
+        }
+        if (ca != cb) {
+          r = ca < cb ? -1 : 1;
+          break;
+        }
+        if (ca == 0) {
+          break;
+        }
+      }
+      ChargeChunked(a, i + 1);
+      ChargeChunked(b, i + 1);
+      SetReg(f, inst, static_cast<uint64_t>(r), RegMeta::None());
+      break;
+    }
+    case LibFunc::kStrcpy: {
+      const uint64_t dst = value_of(0);
+      const uint64_t src = value_of(1);
+      uint64_t len = 0;
+      if (!scan_strlen(src, meta_of(1), &len)) {
+        return;
+      }
+      if (!sb_range_check(meta_of(0), dst, len + 1) ||
+          !sb_range_check(meta_of(1), src, len + 1)) {
+        return;
+      }
+      if (!copy_bytes(dst, meta_of(0), src, meta_of(1), len + 1, /*backward=*/false)) {
+        return;
+      }
+      clear_entries(dst, len + 1);
+      SetReg(f, inst, dst, meta_of(0));
+      break;
+    }
+    case LibFunc::kStrncpy: {
+      const uint64_t dst = value_of(0);
+      const uint64_t src = value_of(1);
+      const uint64_t n = value_of(2);
+      if (!sb_range_check(meta_of(0), dst, n)) {
+        return;
+      }
+      uint64_t len = 0;
+      if (!scan_strlen(src, meta_of(1), &len)) {
+        return;
+      }
+      const uint64_t copy = std::min(len, n);
+      if (!copy_bytes(dst, meta_of(0), src, meta_of(1), copy, /*backward=*/false)) {
+        return;
+      }
+      for (uint64_t i = copy; i < n; ++i) {
+        if (!WriteByteRouted(dst + i, meta_of(0), 0)) {
+          return;
+        }
+      }
+      clear_entries(dst, n);
+      SetReg(f, inst, dst, meta_of(0));
+      break;
+    }
+    case LibFunc::kStrcat: {
+      const uint64_t dst = value_of(0);
+      const uint64_t src = value_of(1);
+      uint64_t dst_len = 0;
+      uint64_t src_len = 0;
+      if (!scan_strlen(dst, meta_of(0), &dst_len) || !scan_strlen(src, meta_of(1), &src_len)) {
+        return;
+      }
+      if (!sb_range_check(meta_of(0), dst, dst_len + src_len + 1)) {
+        return;
+      }
+      if (!copy_bytes(dst + dst_len, meta_of(0), src, meta_of(1), src_len + 1,
+                      /*backward=*/false)) {
+        return;
+      }
+      clear_entries(dst + dst_len, src_len + 1);
+      SetReg(f, inst, dst, meta_of(0));
+      break;
+    }
+    case LibFunc::kMemcpy:
+    case LibFunc::kMemmove: {
+      const uint64_t dst = value_of(0);
+      const uint64_t src = value_of(1);
+      const uint64_t n = value_of(2);
+      if (!sb_range_check(meta_of(0), dst, n) || !sb_range_check(meta_of(1), src, n)) {
+        return;
+      }
+      const bool backward = func == LibFunc::kMemmove && dst > src && dst < src + n;
+      if (n > 0 && !copy_bytes(dst, meta_of(0), src, meta_of(1), n, backward)) {
+        return;
+      }
+      move_entries(dst, src, n, func == LibFunc::kMemmove);
+      SetReg(f, inst, dst, meta_of(0));
+      break;
+    }
+    case LibFunc::kMemset: {
+      const uint64_t dst = value_of(0);
+      const uint8_t byte = static_cast<uint8_t>(value_of(1));
+      const uint64_t n = value_of(2);
+      if (!sb_range_check(meta_of(0), dst, n)) {
+        return;
+      }
+      for (uint64_t i = 0; i < n; ++i) {
+        if (!WriteByteRouted(dst + i, meta_of(0), byte)) {
+          return;
+        }
+      }
+      ChargeChunked(dst, n);
+      clear_entries(dst, n);
+      SetReg(f, inst, dst, meta_of(0));
+      break;
+    }
+    case LibFunc::kInputBytes: {
+      const uint64_t dst = value_of(0);
+      const uint64_t max = value_of(1);
+      const uint64_t available = options_.input_bytes.size() - input_byte_pos_;
+      const uint64_t n = std::min(max, available);
+      if (!sb_range_check(meta_of(0), dst, n)) {
+        return;
+      }
+      for (uint64_t i = 0; i < n; ++i) {
+        if (!WriteByteRouted(dst + i, meta_of(0), options_.input_bytes[input_byte_pos_ + i])) {
+          return;
+        }
+      }
+      input_byte_pos_ += n;
+      ChargeChunked(dst, n);
+      clear_entries(dst, n);
+      SetReg(f, inst, n, RegMeta::None());
+      break;
+    }
+  }
+  if (!done_) {
+    ++f.ip;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation intrinsics
+
+void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
+  const ir::ProtectionFlags& prot = module_.protection();
+  switch (inst->intrinsic()) {
+    // --- CPI ---------------------------------------------------------------
+    case IntrinsicId::kCpiStore: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t value = Eval(f, inst->operand(1));
+      const RegMeta vm = EvalMeta(f, inst->operand(1));
+      SafeEntry entry;
+      if (vm.kind == EntryKind::kCode) {
+        entry = SafeEntry::Code(value);
+      } else if (vm.IsSafeValue()) {
+        entry = SafeEntry{value, vm.lower, vm.upper, vm.temporal_id, EntryKind::kData};
+      } else {
+        entry = SafeEntry::Invalid(value);  // e.g. storing NULL
+      }
+      StoreSet(addr, entry);
+      if (prot.debug_mode) {
+        // Debug mode (§3.2.2): mirror into the regular region too.
+        if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), value)) {
+          return;
+        }
+      }
+      break;
+    }
+    case IntrinsicId::kCpiLoad: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      const SafeEntry e = StoreGet(addr);
+      if (!e.IsPresent()) {
+        // Never stored through the safe store: yields a regular value, whose
+        // use in any checked context aborts.
+        uint64_t raw = 0;
+        if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &raw)) {
+          return;
+        }
+        SetReg(f, inst, raw, RegMeta::None());
+        break;
+      }
+      if (prot.debug_mode) {
+        uint64_t mirror = 0;
+        if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &mirror)) {
+          return;
+        }
+        if (mirror != e.value) {
+          Abort(Violation::kDebugModeMismatch,
+                "debug mode: regular copy of a protected pointer diverged");
+          return;
+        }
+      }
+      SetReg(f, inst, e.value, RegMeta::FromEntry(e));
+      break;
+    }
+    case IntrinsicId::kCpiStoreUni: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t value = Eval(f, inst->operand(1));
+      const RegMeta vm = EvalMeta(f, inst->operand(1));
+      const bool safe_value = vm.IsSafeValue() && (vm.kind == EntryKind::kCode ||
+                                                   vm.lower <= vm.upper);
+      if (safe_value) {
+        SafeEntry entry = vm.kind == EntryKind::kCode
+                              ? SafeEntry::Code(value)
+                              : SafeEntry{value, vm.lower, vm.upper, vm.temporal_id,
+                                          EntryKind::kData};
+        StoreSet(addr, entry);
+        if (prot.debug_mode) {
+          if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), value)) {
+            return;
+          }
+        }
+      } else {
+        // A regular value: store to the regular region and kill any stale
+        // protected entry for this slot.
+        StoreClear(addr);
+        if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), value)) {
+          return;
+        }
+      }
+      break;
+    }
+    case IntrinsicId::kCpiLoadUni: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      const SafeEntry e = StoreGet(addr);
+      if (e.IsPresent()) {
+        if (prot.debug_mode) {
+          uint64_t mirror = 0;
+          if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &mirror)) {
+            return;
+          }
+          if (mirror != e.value) {
+            Abort(Violation::kDebugModeMismatch,
+                  "debug mode: regular copy of a protected pointer diverged");
+            return;
+          }
+        }
+        SetReg(f, inst, e.value, RegMeta::FromEntry(e));
+      } else {
+        uint64_t raw = 0;
+        if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &raw)) {
+          return;
+        }
+        SetReg(f, inst, raw, RegMeta::None());
+      }
+      break;
+    }
+    case IntrinsicId::kCpiBoundsCheck: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t size = Eval(f, inst->operand(1));
+      const RegMeta meta = EvalMeta(f, inst->operand(0));
+      ChargeCheck();
+      if (!meta.IsSafeValue() || !meta.InBounds(addr, size)) {
+        Abort(Violation::kSpatialOutOfBounds, "CPI: sensitive dereference out of bounds");
+        return;
+      }
+      if (!TemporallyLive(meta)) {
+        Abort(Violation::kTemporalUseAfterFree, "CPI: use after free of sensitive object");
+        return;
+      }
+      break;
+    }
+    case IntrinsicId::kCpiAssertCode: {
+      const uint64_t value = Eval(f, inst->operand(0));
+      const RegMeta meta = EvalMeta(f, inst->operand(0));
+      ChargeCheck();
+      if (meta.kind != EntryKind::kCode || value != meta.lower) {
+        Abort(Violation::kForgedCodePointer, "CPI: indirect call through unsafe code pointer");
+        return;
+      }
+      SetReg(f, inst, value, meta);
+      break;
+    }
+
+    // --- CPS ---------------------------------------------------------------
+    case IntrinsicId::kCpsStore: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t value = Eval(f, inst->operand(1));
+      const RegMeta vm = EvalMeta(f, inst->operand(1));
+      StoreSet(addr, vm.kind == EntryKind::kCode ? SafeEntry::Code(value)
+                                                 : SafeEntry::Invalid(value));
+      if (prot.debug_mode) {
+        if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), value)) {
+          return;
+        }
+      }
+      break;
+    }
+    case IntrinsicId::kCpsLoad: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      const SafeEntry e = StoreGet(addr);
+      if (e.IsPresent()) {
+        if (prot.debug_mode) {
+          uint64_t mirror = 0;
+          if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &mirror)) {
+            return;
+          }
+          if (mirror != e.value) {
+            Abort(Violation::kDebugModeMismatch,
+                  "debug mode: regular copy of a protected pointer diverged");
+            return;
+          }
+        }
+        SetReg(f, inst, e.value, RegMeta::FromEntry(e));
+      } else {
+        uint64_t raw = 0;
+        if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &raw)) {
+          return;
+        }
+        SetReg(f, inst, raw, RegMeta::None());
+      }
+      break;
+    }
+    case IntrinsicId::kCpsStoreUni: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t value = Eval(f, inst->operand(1));
+      const RegMeta vm = EvalMeta(f, inst->operand(1));
+      if (vm.kind == EntryKind::kCode) {
+        StoreSet(addr, SafeEntry::Code(value));
+      } else {
+        StoreClear(addr);
+        if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), value)) {
+          return;
+        }
+      }
+      break;
+    }
+    case IntrinsicId::kCpsLoadUni: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      const SafeEntry e = StoreGet(addr);
+      if (e.IsPresent() && e.kind == EntryKind::kCode) {
+        SetReg(f, inst, e.value, RegMeta::FromEntry(e));
+      } else {
+        uint64_t raw = 0;
+        if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &raw)) {
+          return;
+        }
+        SetReg(f, inst, raw, RegMeta::None());
+      }
+      break;
+    }
+    case IntrinsicId::kCpsAssertCode: {
+      const uint64_t value = Eval(f, inst->operand(0));
+      const RegMeta meta = EvalMeta(f, inst->operand(0));
+      ChargeCheck();
+      if (meta.kind != EntryKind::kCode) {
+        Abort(Violation::kForgedCodePointer, "CPS: indirect call through unsafe code pointer");
+        return;
+      }
+      SetReg(f, inst, value, meta);
+      break;
+    }
+
+    // --- SoftBound baseline --------------------------------------------------
+    case IntrinsicId::kSbStore: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t value = Eval(f, inst->operand(1));
+      if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), value)) {
+        return;
+      }
+      sb_shadow_[addr] = EvalMeta(f, inst->operand(1));
+      ChargeAccess(kSbShadowBase + (addr >> 3) * 16);
+      ChargeAccess(kSbShadowBase + (addr >> 3) * 16 + 8);
+      break;
+    }
+    case IntrinsicId::kSbLoad: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      uint64_t raw = 0;
+      if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &raw)) {
+        return;
+      }
+      RegMeta meta = RegMeta::None();
+      auto it = sb_shadow_.find(addr);
+      if (it != sb_shadow_.end()) {
+        meta = it->second;
+      }
+      ChargeAccess(kSbShadowBase + (addr >> 3) * 16);
+      ChargeAccess(kSbShadowBase + (addr >> 3) * 16 + 8);
+      SetReg(f, inst, raw, meta);
+      break;
+    }
+    case IntrinsicId::kSbCheck: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t size = Eval(f, inst->operand(1));
+      const RegMeta meta = EvalMeta(f, inst->operand(0));
+      // Full memory safety checks every dereference, and the bounds usually
+      // have to be re-fetched from the disjoint metadata space (SoftBound's
+      // dominant cost); CPI's checks, by contrast, ride on metadata already
+      // loaded by the fused safe-store access.
+      ChargeCheck();
+      Cycles(2);
+      ChargeAccess(kSbShadowBase + (addr >> 3) * 16);
+      if (!meta.IsSafeValue() || !meta.InBounds(addr, size)) {
+        Abort(Violation::kSoftBoundViolation, "softbound: dereference check failed");
+        return;
+      }
+      if (!TemporallyLive(meta)) {
+        Abort(Violation::kTemporalUseAfterFree, "softbound: use after free");
+        return;
+      }
+      break;
+    }
+
+    // --- CFI baseline --------------------------------------------------------
+    case IntrinsicId::kCfiCheck: {
+      const uint64_t value = Eval(f, inst->operand(0));
+      ++result_.counters.checks;
+      Cycles(kCfiCheckCycles);
+      const Function* target = FunctionAtAddress(value);
+      if (target == nullptr || !target->address_taken()) {
+        Abort(Violation::kCfiBadTarget, "CFI: indirect call target not in the valid set");
+        return;
+      }
+      SetReg(f, inst, value, EvalMeta(f, inst->operand(0)));
+      break;
+    }
+  }
+  if (!done_) {
+    ++f.ip;
+  }
+}
+
+}  // namespace
+
+RunResult Execute(const ir::Module& module, const RunOptions& options) {
+  Machine machine(module, options);
+  return machine.Run();
+}
+
+ProgramLayout ComputeProgramLayout(const ir::Module& module) {
+  ProgramLayout layout;
+  for (size_t i = 0; i < module.functions().size(); ++i) {
+    layout.code[module.functions()[i].get()] = kCodeBase + i * kCodeStride;
+  }
+  uint64_t ro = kRoGlobalBase;
+  uint64_t rw = kRwGlobalBase;
+  for (const auto& g : module.globals()) {
+    const uint64_t size = g->type()->SizeInBytes();
+    const uint64_t align = ir::AlignmentOf(g->type());
+    uint64_t& cursor = g->is_const() ? ro : rw;
+    cursor = (cursor + align - 1) / align * align;
+    layout.globals[g.get()] = cursor;
+    cursor += size;
+  }
+  return layout;
+}
+
+uint64_t FirstHeapAddress() { return kHeapBase; }
+
+}  // namespace cpi::vm

@@ -1,0 +1,128 @@
+// The execution engine.
+//
+// Interprets an (optionally instrumented) module against the dual-region
+// memory model of Appendix A: a regular region Mu that memory bugs can
+// corrupt freely, and a safe region Ms (safe pointer store + safe stacks)
+// reachable only through intrinsics and compiler-generated frame accesses.
+//
+// The machine charges every operation through a deterministic cycle + cache
+// cost model, so protection overheads are measured as simulated-cycle ratios
+// — stable, explainable numbers whose *shape* tracks the paper's wall-clock
+// results.
+//
+// Control-flow hijacking is modelled faithfully: saved return addresses are
+// ordinary (corruptible) memory words when no safe stack is active; a
+// corrupted return slot or function pointer transfers control to whatever it
+// decodes to, exactly like a ret/call on real hardware.
+#ifndef CPI_SRC_VM_MACHINE_H_
+#define CPI_SRC_VM_MACHINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/runtime/safe_store.h"
+#include "src/runtime/temporal.h"
+#include "src/runtime/violation.h"
+#include "src/vm/cache.h"
+#include "src/vm/memory.h"
+
+namespace cpi::vm {
+
+enum class RunStatus {
+  kOk,         // main returned normally
+  kViolation,  // a protection mechanism aborted the program (attack prevented)
+  kCrash,      // memory fault, bad jump, division by zero, ...
+  kOutOfFuel,  // step budget exhausted
+};
+
+const char* RunStatusName(RunStatus s);
+
+struct RunOptions {
+  uint64_t max_steps = 200'000'000;
+  runtime::StoreKind store = runtime::StoreKind::kArray;
+  runtime::IsolationKind isolation = runtime::IsolationKind::kSegment;
+  // §4 "Future MPX-based implementation": hardware-assisted bounds checks
+  // cost no extra cycles (metadata traffic remains).
+  bool mpx_assist = false;
+  uint64_t seed = 1;  // stack cookie value derivation
+  std::vector<uint64_t> input_words;
+  std::vector<uint8_t> input_bytes;
+  CacheModel::Config cache;
+};
+
+struct Counters {
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  uint64_t mem_accesses = 0;
+  uint64_t safe_store_ops = 0;
+  uint64_t checks = 0;
+  uint64_t calls = 0;
+  uint64_t hijack_transfers = 0;  // control transfers via corrupted state
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+struct MemoryFootprint {
+  uint64_t regular_bytes = 0;     // mapped Mu pages
+  uint64_t safe_store_bytes = 0;  // resident safe pointer store
+  uint64_t safe_stack_bytes = 0;  // mapped safe-stack pages
+  uint64_t safe_store_entries = 0;
+
+  uint64_t TotalBytes() const { return regular_bytes + safe_store_bytes + safe_stack_bytes; }
+};
+
+struct RunResult {
+  RunStatus status = RunStatus::kOk;
+  runtime::Violation violation = runtime::Violation::kNone;
+  std::string message;
+  uint64_t exit_code = 0;
+  std::vector<uint64_t> output;
+  Counters counters;
+  MemoryFootprint memory;
+
+  bool OutputContains(uint64_t marker) const {
+    for (uint64_t v : output) {
+      if (v == marker) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Executes module's main() under the given options. The module must verify
+// (ir::VerifyModule) and have had RenumberValues() run by the caller — the
+// core::Compiler facade takes care of both.
+RunResult Execute(const ir::Module& module, const RunOptions& options);
+
+// The (deterministic) addresses the loader will assign. Attack drivers use
+// this the way real exploits use known binary layouts: to embed target
+// addresses in their payloads.
+struct ProgramLayout {
+  std::map<const ir::Function*, uint64_t> code;
+  std::map<const ir::GlobalVariable*, uint64_t> globals;
+
+  uint64_t CodeAddress(const ir::Function* f) const {
+    auto it = code.find(f);
+    CPI_CHECK(it != code.end());
+    return it->second;
+  }
+  uint64_t GlobalAddress(const ir::GlobalVariable* g) const {
+    auto it = globals.find(g);
+    CPI_CHECK(it != globals.end());
+    return it->second;
+  }
+};
+
+ProgramLayout ComputeProgramLayout(const ir::Module& module);
+
+// Address of the first heap allocation (predictable, like a heap groom).
+uint64_t FirstHeapAddress();
+
+}  // namespace cpi::vm
+
+#endif  // CPI_SRC_VM_MACHINE_H_

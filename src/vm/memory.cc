@@ -1,0 +1,129 @@
+#include "src/vm/memory.h"
+
+#include <cstring>
+
+namespace cpi::vm {
+
+void ByteMemory::MapRange(uint64_t start, uint64_t size, bool writable) {
+  const uint64_t first = start / kPageBytes;
+  const uint64_t last = (start + size + kPageBytes - 1) / kPageBytes;
+  for (uint64_t p = first; p < last; ++p) {
+    Page& page = pages_[p];
+    page.mapped = true;
+    page.writable = page.writable || writable;
+  }
+}
+
+void ByteMemory::UnmapRange(uint64_t start, uint64_t size) {
+  // Only whole pages strictly inside the range are unmapped; partial pages at
+  // the edges stay (they may still back neighbouring objects).
+  uint64_t first = (start + kPageBytes - 1) / kPageBytes;
+  uint64_t last = (start + size) / kPageBytes;
+  for (uint64_t p = first; p < last; ++p) {
+    pages_.erase(p);
+  }
+}
+
+ByteMemory::Page* ByteMemory::FindPage(uint64_t addr) {
+  auto it = pages_.find(addr / kPageBytes);
+  if (it == pages_.end() || !it->second.mapped) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+const ByteMemory::Page* ByteMemory::FindPage(uint64_t addr) const {
+  auto it = pages_.find(addr / kPageBytes);
+  if (it == pages_.end() || !it->second.mapped) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+uint8_t* ByteMemory::PageBytes(Page& page) {
+  if (page.bytes == nullptr) {
+    page.bytes = std::make_unique<uint8_t[]>(kPageBytes);
+    std::memset(page.bytes.get(), 0, kPageBytes);
+  }
+  return page.bytes.get();
+}
+
+bool ByteMemory::IsMapped(uint64_t addr) const { return FindPage(addr) != nullptr; }
+
+bool ByteMemory::IsWritable(uint64_t addr) const {
+  const Page* p = FindPage(addr);
+  return p != nullptr && p->writable;
+}
+
+MemFault ByteMemory::Read(uint64_t addr, void* out, uint64_t size) const {
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  uint64_t done = 0;
+  while (done < size) {
+    const uint64_t a = addr + done;
+    const Page* page = FindPage(a);
+    if (page == nullptr) {
+      return MemFault::kUnmapped;
+    }
+    const uint64_t in_page = a % kPageBytes;
+    const uint64_t chunk = std::min(size - done, kPageBytes - in_page);
+    if (page->bytes == nullptr) {
+      std::memset(dst + done, 0, chunk);
+    } else {
+      std::memcpy(dst + done, page->bytes.get() + in_page, chunk);
+    }
+    done += chunk;
+  }
+  return MemFault::kNone;
+}
+
+MemFault ByteMemory::Write(uint64_t addr, const void* data, uint64_t size) {
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  // Validate the whole range first so partially-applied writes cannot occur.
+  for (uint64_t a = addr / kPageBytes; a <= (addr + size - 1) / kPageBytes; ++a) {
+    const Page* page = FindPage(a * kPageBytes);
+    if (page == nullptr) {
+      return MemFault::kUnmapped;
+    }
+    if (!page->writable) {
+      return MemFault::kReadOnly;
+    }
+  }
+  uint64_t done = 0;
+  while (done < size) {
+    const uint64_t a = addr + done;
+    Page* page = FindPage(a);
+    const uint64_t in_page = a % kPageBytes;
+    const uint64_t chunk = std::min(size - done, kPageBytes - in_page);
+    std::memcpy(PageBytes(*page) + in_page, src + done, chunk);
+    done += chunk;
+  }
+  return MemFault::kNone;
+}
+
+MemFault ByteMemory::ReadU64(uint64_t addr, uint64_t* out) const {
+  return Read(addr, out, 8);
+}
+
+MemFault ByteMemory::WriteU64(uint64_t addr, uint64_t value) {
+  return Write(addr, &value, 8);
+}
+
+MemFault ByteMemory::ReadByte(uint64_t addr, uint8_t* out) const { return Read(addr, out, 1); }
+
+MemFault ByteMemory::WriteByte(uint64_t addr, uint8_t value) { return Write(addr, &value, 1); }
+
+void ByteMemory::LoaderWrite(uint64_t addr, const void* data, uint64_t size) {
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  uint64_t done = 0;
+  while (done < size) {
+    const uint64_t a = addr + done;
+    Page& page = pages_[a / kPageBytes];
+    page.mapped = true;
+    const uint64_t in_page = a % kPageBytes;
+    const uint64_t chunk = std::min(size - done, kPageBytes - in_page);
+    std::memcpy(PageBytes(page) + in_page, src + done, chunk);
+    done += chunk;
+  }
+}
+
+}  // namespace cpi::vm

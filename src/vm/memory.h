@@ -1,0 +1,68 @@
+// Sparse byte-addressable memory with page permissions.
+//
+// One instance backs the regular region (Mu), another the safe stacks (the
+// byte-addressable part of Ms; the safe pointer store keeps its own storage).
+// Loads/stores of unmapped addresses fault, exactly like touching an unmapped
+// page on real hardware — this is what turns wild attacker guesses under
+// information-hiding isolation into crashes (§3.2.3).
+#ifndef CPI_SRC_VM_MEMORY_H_
+#define CPI_SRC_VM_MEMORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace cpi::vm {
+
+enum class MemFault {
+  kNone = 0,
+  kUnmapped,
+  kReadOnly,
+};
+
+class ByteMemory {
+ public:
+  static constexpr uint64_t kPageBytes = 4096;
+
+  // Makes [start, start+size) accessible. Pages materialise lazily,
+  // zero-filled.
+  void MapRange(uint64_t start, uint64_t size, bool writable);
+
+  // Removes access (used when unsafe frames are popped so that dangling
+  // stack references fault).
+  void UnmapRange(uint64_t start, uint64_t size);
+
+  bool IsMapped(uint64_t addr) const;
+  bool IsWritable(uint64_t addr) const;
+
+  MemFault Read(uint64_t addr, void* out, uint64_t size) const;
+  MemFault Write(uint64_t addr, const void* data, uint64_t size);
+
+  MemFault ReadU64(uint64_t addr, uint64_t* out) const;
+  MemFault WriteU64(uint64_t addr, uint64_t value);
+  MemFault ReadByte(uint64_t addr, uint8_t* out) const;
+  MemFault WriteByte(uint64_t addr, uint8_t value);
+
+  // Raw write ignoring the read-only bit — used by the loader to place
+  // constant data, never by program execution.
+  void LoaderWrite(uint64_t addr, const void* data, uint64_t size);
+
+  uint64_t mapped_bytes() const { return pages_.size() * kPageBytes; }
+
+ private:
+  struct Page {
+    std::unique_ptr<uint8_t[]> bytes;
+    bool writable = false;
+    bool mapped = false;
+  };
+
+  Page* FindPage(uint64_t addr);
+  const Page* FindPage(uint64_t addr) const;
+  uint8_t* PageBytes(Page& page);
+
+  std::unordered_map<uint64_t, Page> pages_;
+};
+
+}  // namespace cpi::vm
+
+#endif  // CPI_SRC_VM_MEMORY_H_

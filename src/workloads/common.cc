@@ -1,0 +1,48 @@
+#include "src/workloads/common.h"
+
+namespace cpi::workloads {
+
+LoopBlocks BeginLoop(ir::IRBuilder& b, ir::Function* f, ir::Value* slot, ir::Value* start,
+                     ir::Value* limit, const std::string& tag) {
+  LoopBlocks loop;
+  loop.slot = slot;
+  loop.header = f->CreateBlock(tag + ".header");
+  loop.body = f->CreateBlock(tag + ".body");
+  loop.exit = f->CreateBlock(tag + ".exit");
+
+  b.Store(start, slot);
+  b.Br(loop.header);
+
+  b.SetInsertPoint(loop.header);
+  ir::Value* i = b.Load(slot, tag + ".i");
+  b.CondBr(b.ICmpSLt(i, limit), loop.body, loop.exit);
+
+  b.SetInsertPoint(loop.body);
+  loop.index = b.Load(slot, tag + ".idx");
+  return loop;
+}
+
+void EndLoop(ir::IRBuilder& b, const LoopBlocks& loop, uint64_t step) {
+  ir::Value* i = b.Load(loop.slot);
+  b.Store(b.Add(i, b.I64(step)), loop.slot);
+  b.Br(loop.header);
+  b.SetInsertPoint(loop.exit);
+}
+
+ir::GlobalVariable* MakeChecksumGlobal(ir::Module& m) {
+  return m.CreateGlobal("checksum", m.types().I64());
+}
+
+void AccumulateChecksum(ir::IRBuilder& b, ir::GlobalVariable* checksum, ir::Value* value) {
+  ir::Value* addr = b.GlobalAddr(checksum);
+  ir::Value* old = b.Load(addr);
+  b.Store(b.Add(b.Mul(old, b.I64(31)), value), addr);
+}
+
+void EmitChecksumAndRet(ir::IRBuilder& b, ir::GlobalVariable* checksum) {
+  ir::Value* addr = b.GlobalAddr(checksum);
+  b.Output(b.Load(addr));
+  b.Ret(b.I64(0));
+}
+
+}  // namespace cpi::workloads

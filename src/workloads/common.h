@@ -1,0 +1,48 @@
+// Shared IR-emission helpers for workload generators.
+#ifndef CPI_SRC_WORKLOADS_COMMON_H_
+#define CPI_SRC_WORKLOADS_COMMON_H_
+
+#include <string>
+
+#include "src/ir/builder.h"
+
+namespace cpi::workloads {
+
+// Emits a canonical counted loop:
+//
+//   store start -> slot
+//   br header
+// header:
+//   i = load slot ; condbr (i < limit), body, exit
+// body:
+//   ...            <- builder insert point after BeginLoop
+//   (EndLoop: store i+step -> slot ; br header; insert point moves to exit)
+//
+// `slot` must be an i64 alloca created in the entry block (so nested loops
+// do not grow the stack frame per iteration).
+struct LoopBlocks {
+  ir::BasicBlock* header = nullptr;
+  ir::BasicBlock* body = nullptr;
+  ir::BasicBlock* exit = nullptr;
+  ir::Value* slot = nullptr;
+  ir::Value* index = nullptr;  // valid inside the body
+};
+
+LoopBlocks BeginLoop(ir::IRBuilder& b, ir::Function* f, ir::Value* slot, ir::Value* start,
+                     ir::Value* limit, const std::string& tag);
+void EndLoop(ir::IRBuilder& b, const LoopBlocks& loop, uint64_t step = 1);
+
+// Defines a global i64 `checksum` accumulator and returns it; workloads fold
+// results into it and output it at the end so that differential tests can
+// compare behaviour across protection levels.
+ir::GlobalVariable* MakeChecksumGlobal(ir::Module& m);
+
+// checksum = checksum * 31 + value
+void AccumulateChecksum(ir::IRBuilder& b, ir::GlobalVariable* checksum, ir::Value* value);
+
+// output(load checksum); ret 0   -- standard workload epilogue.
+void EmitChecksumAndRet(ir::IRBuilder& b, ir::GlobalVariable* checksum);
+
+}  // namespace cpi::workloads
+
+#endif  // CPI_SRC_WORKLOADS_COMMON_H_

@@ -1,0 +1,65 @@
+#include "src/workloads/measure.h"
+
+#include "src/support/stats.h"
+
+namespace cpi::workloads {
+
+std::vector<Measurement> MeasureWorkloads(const std::vector<Workload>& workloads,
+                                          const std::vector<core::Protection>& protections,
+                                          int scale, const core::Config& base) {
+  std::vector<Measurement> out;
+  for (const auto& w : workloads) {
+    Measurement m;
+    m.workload = w.name;
+    m.language = w.language;
+
+    {
+      core::Config vanilla = base;
+      vanilla.protection = core::Protection::kNone;
+      auto module = w.build(scale);
+      core::Compiler compiler(vanilla);
+      core::CompileOutput co = compiler.Instrument(*module);
+      m.stats = co.stats;
+      vm::RunResult r = core::Run(*module, vanilla, w.input);
+      CPI_CHECK(r.status == vm::RunStatus::kOk);
+      m.vanilla_cycles = r.counters.cycles;
+      m.vanilla_memory_bytes = r.memory.TotalBytes();
+    }
+
+    for (core::Protection p : protections) {
+      core::Config config = base;
+      config.protection = p;
+      auto module = w.build(scale);
+      vm::RunResult r = core::InstrumentAndRun(*module, config, w.input);
+      CPI_CHECK(r.status == vm::RunStatus::kOk);
+      m.overhead_pct[p] = OverheadPercent(static_cast<double>(r.counters.cycles),
+                                          static_cast<double>(m.vanilla_cycles));
+      m.memory_bytes[p] = r.memory.TotalBytes();
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<double> OverheadColumn(const std::vector<Measurement>& measurements,
+                                   core::Protection protection) {
+  std::vector<double> column;
+  for (const auto& m : measurements) {
+    column.push_back(m.overhead_pct.at(protection));
+  }
+  return column;
+}
+
+std::vector<double> OverheadColumnForLanguage(const std::vector<Measurement>& measurements,
+                                              core::Protection protection,
+                                              const std::string& language) {
+  std::vector<double> column;
+  for (const auto& m : measurements) {
+    if (m.language == language) {
+      column.push_back(m.overhead_pct.at(protection));
+    }
+  }
+  return column;
+}
+
+}  // namespace cpi::workloads

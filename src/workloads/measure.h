@@ -1,0 +1,46 @@
+// Measurement harness shared by the bench binaries: runs workloads under
+// several protection configurations and reports relative overheads (in
+// simulated cycles) plus the static compilation statistics of Table 2.
+#ifndef CPI_SRC_WORKLOADS_MEASURE_H_
+#define CPI_SRC_WORKLOADS_MEASURE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/levee.h"
+#include "src/workloads/workloads.h"
+
+namespace cpi::workloads {
+
+struct Measurement {
+  std::string workload;
+  std::string language;
+  uint64_t vanilla_cycles = 0;
+  // protection -> overhead percent vs the vanilla run.
+  std::map<core::Protection, double> overhead_pct;
+  // protection -> total memory footprint in bytes (for §5.2 memory numbers).
+  std::map<core::Protection, uint64_t> memory_bytes;
+  uint64_t vanilla_memory_bytes = 0;
+  // Static statistics (FNUStack / MOCPS / MOCPI).
+  analysis::ModuleStats stats;
+};
+
+// Runs every workload under vanilla plus each protection in `protections`,
+// using `base` for all other configuration knobs.
+std::vector<Measurement> MeasureWorkloads(const std::vector<Workload>& workloads,
+                                          const std::vector<core::Protection>& protections,
+                                          int scale, const core::Config& base = {});
+
+// Column of overhead values for one protection, in workload order.
+std::vector<double> OverheadColumn(const std::vector<Measurement>& measurements,
+                                   core::Protection protection);
+
+// Same, restricted to one language ("C" / "C++").
+std::vector<double> OverheadColumnForLanguage(const std::vector<Measurement>& measurements,
+                                              core::Protection protection,
+                                              const std::string& language);
+
+}  // namespace cpi::workloads
+
+#endif  // CPI_SRC_WORKLOADS_MEASURE_H_

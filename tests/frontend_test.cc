@@ -1,0 +1,286 @@
+// Frontend tests: lexing, parse/type errors, and compile-and-run of C-subset
+// programs — including the CPI-relevant idioms (function pointers in structs,
+// void*, strcpy overflows) that the instrumentation must handle.
+#include <gtest/gtest.h>
+
+#include "src/core/levee.h"
+#include "src/frontend/compile.h"
+#include "src/frontend/lexer.h"
+#include "src/ir/verifier.h"
+
+namespace cpi::frontend {
+namespace {
+
+std::vector<uint64_t> RunSource(const std::string& source,
+                                core::Protection protection = core::Protection::kNone,
+                                const core::Input& input = {}) {
+  CompileResult cr = CompileC(source);
+  EXPECT_TRUE(cr.ok()) << cr.error;
+  if (!cr.ok()) {
+    return {};
+  }
+  core::Config config;
+  config.protection = protection;
+  vm::RunResult r = core::InstrumentAndRun(*cr.module, config, input);
+  EXPECT_EQ(r.status, vm::RunStatus::kOk) << r.message;
+  return r.output;
+}
+
+TEST(LexerTest, TokenisesOperatorsAndKeywords) {
+  std::vector<Token> tokens;
+  std::string error;
+  ASSERT_TRUE(Lex("int x = a->b != 0x1F << 2; // comment", &tokens, &error)) << error;
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) {
+    kinds.push_back(t.kind);
+  }
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kInt, TokenKind::kIdentifier, TokenKind::kAssign,
+                       TokenKind::kIdentifier, TokenKind::kArrow, TokenKind::kIdentifier,
+                       TokenKind::kNe, TokenKind::kIntLiteral, TokenKind::kShl,
+                       TokenKind::kIntLiteral, TokenKind::kSemicolon, TokenKind::kEof}));
+  EXPECT_EQ(tokens[7].int_value, 0x1Fu);
+}
+
+TEST(LexerTest, StringAndCharLiterals) {
+  std::vector<Token> tokens;
+  std::string error;
+  ASSERT_TRUE(Lex("\"hi\\n\" 'A' '\\0'", &tokens, &error)) << error;
+  EXPECT_EQ(tokens[0].text, "hi\n");
+  EXPECT_EQ(tokens[1].int_value, static_cast<uint64_t>('A'));
+  EXPECT_EQ(tokens[2].int_value, 0u);
+}
+
+TEST(LexerTest, ReportsUnterminatedString) {
+  std::vector<Token> tokens;
+  std::string error;
+  EXPECT_FALSE(Lex("\"oops", &tokens, &error));
+  EXPECT_NE(error.find("unterminated"), std::string::npos);
+}
+
+TEST(CompileTest, ArithmeticAndControlFlow) {
+  auto out = RunSource(R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() {
+      output(fib(12));
+      int sum = 0;
+      for (int i = 0; i < 10; i = i + 1) { sum = sum + i * i; }
+      output(sum);
+      int x = 100;
+      while (x > 3) { x = x / 2; }
+      output(x);
+      return 0;
+    }
+  )");
+  EXPECT_EQ(out, (std::vector<uint64_t>{144, 285, 3}));
+}
+
+TEST(CompileTest, PointersArraysAndStructs) {
+  auto out = RunSource(R"(
+    struct point { int x; int y; };
+    int sum_array(int* a, int n) {
+      int s = 0;
+      for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }
+      return s;
+    }
+    int main() {
+      int nums[8];
+      for (int i = 0; i < 8; i = i + 1) { nums[i] = i * 3; }
+      output(sum_array(nums, 8));
+
+      struct point p;
+      p.x = 10;
+      p.y = 32;
+      struct point* q = &p;
+      q->x = q->x + q->y;
+      output(p.x);
+
+      int v = 5;
+      int* pv = &v;
+      *pv = *pv * 9;
+      output(v);
+      return 0;
+    }
+  )");
+  EXPECT_EQ(out, (std::vector<uint64_t>{84, 42, 45}));
+}
+
+TEST(CompileTest, FunctionPointersAndDispatch) {
+  const std::string source = R"(
+    struct op { char name[8]; int (*fn)(int, int); };
+    struct op table[4];
+    int add(int a, int b) { return a + b; }
+    int mul(int a, int b) { return a * b; }
+    int main() {
+      table[0].fn = add;
+      table[1].fn = mul;
+      int (*f)(int, int);
+      f = table[0].fn;
+      output(f(20, 22));
+      f = table[1].fn;
+      output(f(6, 7));
+      return 0;
+    }
+  )";
+  for (core::Protection p : {core::Protection::kNone, core::Protection::kCps,
+                             core::Protection::kCpi}) {
+    EXPECT_EQ(RunSource(source, p), (std::vector<uint64_t>{42, 42})) << static_cast<int>(p);
+  }
+}
+
+TEST(CompileTest, HeapAndVoidPointers) {
+  auto out = RunSource(R"(
+    int main() {
+      int* cell = (int*)malloc(8);
+      *cell = 1234;
+      void* erased = (void*)cell;
+      int* back = (int*)erased;
+      output(*back);
+      free(back);
+      return 0;
+    }
+  )",
+                       core::Protection::kCpi);
+  EXPECT_EQ(out, (std::vector<uint64_t>{1234}));
+}
+
+TEST(CompileTest, StringsAndLibc) {
+  auto out = RunSource(R"(
+    int main() {
+      char buf[32];
+      strcpy(buf, "hello");
+      strcat(buf, " cpi");
+      output(strlen(buf));
+      output(strcmp(buf, "hello cpi") == 0);
+      return 0;
+    }
+  )");
+  EXPECT_EQ(out, (std::vector<uint64_t>{9, 1}));
+}
+
+TEST(CompileTest, InputWordsReachProgram) {
+  core::Input input;
+  input.words = {7, 35};
+  auto out = RunSource(R"(
+    int main() {
+      int a = input();
+      int b = input();
+      output(a + b);
+      return 0;
+    }
+  )",
+                       core::Protection::kNone, input);
+  EXPECT_EQ(out, (std::vector<uint64_t>{42}));
+}
+
+TEST(CompileTest, ShortCircuitEvaluation) {
+  auto out = RunSource(R"(
+    int g;
+    int bump() { g = g + 1; return 1; }
+    int main() {
+      g = 0;
+      int r = 0 && bump();
+      output(r);
+      output(g);      // not bumped
+      r = 1 || bump();
+      output(r);
+      output(g);      // still not bumped
+      r = 1 && bump();
+      output(r);
+      output(g);      // bumped once
+      return 0;
+    }
+  )");
+  EXPECT_EQ(out, (std::vector<uint64_t>{0, 0, 1, 0, 1, 1}));
+}
+
+TEST(CompileTest, VulnerableStrcpyProgramBehavesLikeRipe) {
+  // The classic: a strcpy overflow into an adjacent function pointer. Under
+  // vanilla the gadget runs; under CPI it cannot.
+  const std::string source = R"(
+    struct victim { char buf[16]; void (*fp)(); };
+    struct victim v;
+    void gadget() { output(3735929054); }
+    void legit() { output(1); }
+    int main() {
+      v.fp = legit;
+      char payload[64];
+      int n = input_bytes(payload, 64);
+      strcpy(v.buf, payload);
+      v.fp();
+      return 0;
+    }
+  )";
+  CompileResult cr = CompileC(source);
+  ASSERT_TRUE(cr.ok()) << cr.error;
+  const vm::ProgramLayout layout = vm::ComputeProgramLayout(*cr.module);
+  const uint64_t gadget = layout.CodeAddress(cr.module->FindFunction("gadget"));
+
+  core::Input payload;
+  payload.bytes.assign(16, 0x41);
+  for (int i = 0; i < 8; ++i) {
+    payload.bytes.push_back(static_cast<uint8_t>(gadget >> (8 * i)));
+  }
+  payload.bytes.push_back(0);
+
+  {
+    core::Config vanilla;
+    auto module = CompileC(source).module;
+    auto r = core::InstrumentAndRun(*module, vanilla, payload);
+    EXPECT_TRUE(r.OutputContains(3735929054ull));  // hijacked
+  }
+  {
+    core::Config config;
+    config.protection = core::Protection::kCpi;
+    auto module = CompileC(source).module;
+    auto r = core::InstrumentAndRun(*module, config, payload);
+    EXPECT_FALSE(r.OutputContains(3735929054ull));  // neutralised
+  }
+}
+
+TEST(CompileTest, ErrorUnknownIdentifier) {
+  CompileResult r = CompileC("int main() { return missing; }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("unknown identifier"), std::string::npos);
+}
+
+TEST(CompileTest, ErrorBadAssignmentTarget) {
+  CompileResult r = CompileC("int main() { 3 = 4; return 0; }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("not assignable"), std::string::npos);
+}
+
+TEST(CompileTest, ErrorDerefNonPointer) {
+  CompileResult r = CompileC("int main() { int x; return *x; }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("non-pointer"), std::string::npos);
+}
+
+TEST(CompileTest, ErrorWrongArgCount) {
+  CompileResult r = CompileC("int f(int a) { return a; } int main() { return f(); }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("wrong number of arguments"), std::string::npos);
+}
+
+TEST(CompileTest, ErrorStructRedefinition) {
+  CompileResult r = CompileC("struct s { int a; }; struct s { int b; }; int main() { return 0; }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("redefined"), std::string::npos);
+}
+
+TEST(CompileTest, ForwardDeclaredStructPointersAreUniversal) {
+  CompileResult r = CompileC(R"(
+    struct opaque;
+    struct opaque* stash;
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const ir::Type* t = r.module->FindGlobal("stash")->type();
+  EXPECT_TRUE(ir::IsUniversalPointer(t));
+}
+
+}  // namespace
+}  // namespace cpi::frontend

@@ -1,0 +1,241 @@
+// Unit and property tests for the runtime: the three safe-pointer-store
+// organisations (behavioural equivalence under random operation sequences,
+// range helpers, memory accounting), metadata semantics, and temporal ids.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/runtime/metadata.h"
+#include "src/runtime/safe_store.h"
+#include "src/runtime/temporal.h"
+#include "src/support/rng.h"
+
+namespace cpi::runtime {
+namespace {
+
+class StoreTest : public ::testing::TestWithParam<StoreKind> {
+ protected:
+  std::unique_ptr<SafePointerStore> store_ = CreateSafeStore(GetParam());
+};
+
+TEST_P(StoreTest, SetGetRoundTrip) {
+  SafeEntry e = SafeEntry::Data(0xdead, 0x1000, 0x2000, 7);
+  store_->Set(0x4000, e, nullptr);
+  SafeEntry got = store_->Get(0x4000, nullptr);
+  EXPECT_EQ(got.value, 0xdeadu);
+  EXPECT_EQ(got.lower, 0x1000u);
+  EXPECT_EQ(got.upper, 0x2000u);
+  EXPECT_EQ(got.temporal_id, 7u);
+  EXPECT_EQ(got.kind, EntryKind::kData);
+}
+
+TEST_P(StoreTest, AbsentAddressesReturnNone) {
+  EXPECT_FALSE(store_->Get(0x1234560, nullptr).IsPresent());
+  EXPECT_EQ(store_->EntryCount(), 0u);
+}
+
+TEST_P(StoreTest, ClearRemovesEntry) {
+  store_->Set(0x4000, SafeEntry::Code(0x1000), nullptr);
+  EXPECT_EQ(store_->EntryCount(), 1u);
+  store_->Clear(0x4000, nullptr);
+  EXPECT_FALSE(store_->Get(0x4000, nullptr).IsPresent());
+  EXPECT_EQ(store_->EntryCount(), 0u);
+}
+
+TEST_P(StoreTest, OverwriteKeepsSingleEntry) {
+  store_->Set(0x4000, SafeEntry::Code(0x1000), nullptr);
+  store_->Set(0x4000, SafeEntry::Code(0x2000), nullptr);
+  EXPECT_EQ(store_->EntryCount(), 1u);
+  EXPECT_EQ(store_->Get(0x4000, nullptr).value, 0x2000u);
+}
+
+TEST_P(StoreTest, UnalignedAddressesShareTheSlot) {
+  // Pointer-sized slots: addresses within the same 8-byte word alias.
+  store_->Set(0x4000, SafeEntry::Code(0x1000), nullptr);
+  EXPECT_TRUE(store_->Get(0x4003, nullptr).IsPresent());
+  store_->Clear(0x4007, nullptr);
+  EXPECT_FALSE(store_->Get(0x4000, nullptr).IsPresent());
+}
+
+TEST_P(StoreTest, TouchListsAreBounded) {
+  TouchList t;
+  store_->Set(0x8000, SafeEntry::Code(0x1000), &t);
+  EXPECT_GT(t.count, 0);
+  EXPECT_LE(t.count, TouchList::kMax);
+}
+
+TEST_P(StoreTest, CopyRangeMovesAlignedEntries) {
+  store_->Set(0x4000, SafeEntry::Code(0x1000), nullptr);
+  store_->Set(0x4008, SafeEntry::Data(0x5, 0x0, 0x10, 1), nullptr);
+  store_->CopyRange(0x9000, 0x4000, 16);
+  EXPECT_EQ(store_->Get(0x9000, nullptr).value, 0x1000u);
+  EXPECT_EQ(store_->Get(0x9008, nullptr).value, 0x5u);
+  // Source survives a copy.
+  EXPECT_TRUE(store_->Get(0x4000, nullptr).IsPresent());
+}
+
+TEST_P(StoreTest, MisalignedCopyDropsEntries) {
+  // A byte-shifted copy of a pointer is no longer a pointer.
+  store_->Set(0x4000, SafeEntry::Code(0x1000), nullptr);
+  store_->Set(0x9000, SafeEntry::Code(0x2000), nullptr);
+  store_->CopyRange(0x9001, 0x4000, 8);
+  EXPECT_FALSE(store_->Get(0x9000, nullptr).IsPresent());  // stale dst cleared
+}
+
+TEST_P(StoreTest, ClearRangeCoversPartialWords) {
+  store_->Set(0x4000, SafeEntry::Code(0x1000), nullptr);
+  store_->Set(0x4008, SafeEntry::Code(0x2000), nullptr);
+  store_->ClearRange(0x4004, 8);  // touches both words
+  EXPECT_FALSE(store_->Get(0x4000, nullptr).IsPresent());
+  EXPECT_FALSE(store_->Get(0x4008, nullptr).IsPresent());
+}
+
+TEST_P(StoreTest, MoveRangeHandlesOverlap) {
+  for (int i = 0; i < 4; ++i) {
+    store_->Set(0x4000 + 8 * i, SafeEntry::Code(0x1000 + static_cast<uint64_t>(i)), nullptr);
+  }
+  store_->MoveRange(0x4008, 0x4000, 32);  // overlapping forward move
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(store_->Get(0x4008 + 8 * i, nullptr).value, 0x1000u + static_cast<uint64_t>(i));
+  }
+}
+
+// Property test: every organisation behaves like a plain map under a random
+// operation mix.
+TEST_P(StoreTest, EquivalentToReferenceMapUnderRandomOps) {
+  Rng rng(2024 + static_cast<uint64_t>(GetParam()));
+  std::map<uint64_t, SafeEntry> reference;
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t slot_addr = rng.NextBelow(512) * 8 + 0x10000;
+    const int op = static_cast<int>(rng.NextBelow(10));
+    if (op < 5) {
+      SafeEntry e = rng.Chance(1, 2)
+                        ? SafeEntry::Code(0x1000 + rng.NextBelow(256) * 16)
+                        : SafeEntry::Data(rng.NextU64(), 0x100, 0x10000, rng.NextBelow(50));
+      store_->Set(slot_addr, e, nullptr);
+      reference[slot_addr] = e;
+    } else if (op < 7) {
+      store_->Clear(slot_addr, nullptr);
+      reference.erase(slot_addr);
+    } else {
+      SafeEntry got = store_->Get(slot_addr, nullptr);
+      auto it = reference.find(slot_addr);
+      if (it == reference.end()) {
+        ASSERT_FALSE(got.IsPresent()) << "step " << step;
+      } else {
+        ASSERT_TRUE(got.IsPresent()) << "step " << step;
+        ASSERT_EQ(got.value, it->second.value) << "step " << step;
+        ASSERT_EQ(got.lower, it->second.lower);
+        ASSERT_EQ(got.upper, it->second.upper);
+        ASSERT_EQ(got.temporal_id, it->second.temporal_id);
+        ASSERT_EQ(got.kind, it->second.kind);
+      }
+    }
+  }
+  EXPECT_EQ(store_->EntryCount(), reference.size());
+}
+
+TEST_P(StoreTest, MemoryAccountingGrowsWithEntries) {
+  const uint64_t before = store_->MemoryBytes();
+  for (int i = 0; i < 1000; ++i) {
+    store_->Set(0x10000 + static_cast<uint64_t>(i) * 4096, SafeEntry::Code(0x1000), nullptr);
+  }
+  EXPECT_GT(store_->MemoryBytes(), before);
+  EXPECT_EQ(store_->EntryCount(), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, StoreTest,
+                         ::testing::Values(StoreKind::kArray, StoreKind::kTwoLevel,
+                                           StoreKind::kHash),
+                         [](const ::testing::TestParamInfo<StoreKind>& info) {
+                           switch (info.param) {
+                             case StoreKind::kArray: return "array";
+                             case StoreKind::kTwoLevel: return "two_level";
+                             case StoreKind::kHash: return "hash";
+                           }
+                           return "unknown";
+                         });
+
+TEST(StoreComparisonTest, HashIsMostMemoryFrugalForSparseEntries) {
+  auto array = CreateSafeStore(StoreKind::kArray);
+  auto hash = CreateSafeStore(StoreKind::kHash);
+  // Sparse entries scattered over a wide range (the CPI usage pattern).
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t addr = rng.NextBelow(1 << 24) * 8;
+    array->Set(addr, SafeEntry::Code(0x1000), nullptr);
+    hash->Set(addr, SafeEntry::Code(0x1000), nullptr);
+  }
+  EXPECT_LT(hash->MemoryBytes(), array->MemoryBytes());
+}
+
+// --- metadata ----------------------------------------------------------------
+
+TEST(MetadataTest, InvalidEntriesNeverPassBoundsChecks) {
+  SafeEntry inv = SafeEntry::Invalid(0x1234);
+  EXPECT_TRUE(inv.IsPresent());
+  EXPECT_FALSE(inv.HasValidBounds());
+  EXPECT_FALSE(inv.InBounds(0x1234, 1));
+}
+
+TEST(MetadataTest, CodeEntriesBoundToExactAddress) {
+  SafeEntry code = SafeEntry::Code(0x1000);
+  EXPECT_TRUE(code.InBounds(0x1000, 0));
+  EXPECT_FALSE(code.InBounds(0x1001, 0));
+}
+
+TEST(MetadataTest, RegMetaBoundsChecks) {
+  RegMeta m = RegMeta::Data(0x1000, 0x1100, 3);
+  EXPECT_TRUE(m.InBounds(0x1000, 8));
+  EXPECT_TRUE(m.InBounds(0x10f8, 8));
+  EXPECT_FALSE(m.InBounds(0x10f9, 8));   // straddles the upper bound
+  EXPECT_FALSE(m.InBounds(0xfff, 1));    // below lower
+  EXPECT_FALSE(RegMeta::Invalid().InBounds(0, 0));
+  EXPECT_FALSE(RegMeta::None().IsSafeValue());
+}
+
+TEST(MetadataTest, RegMetaRoundTripsThroughEntries) {
+  RegMeta m = RegMeta::Data(0x10, 0x20, 5);
+  SafeEntry e = SafeEntry{0x18, m.lower, m.upper, m.temporal_id, m.kind};
+  RegMeta back = RegMeta::FromEntry(e);
+  EXPECT_EQ(back.lower, m.lower);
+  EXPECT_EQ(back.upper, m.upper);
+  EXPECT_EQ(back.temporal_id, m.temporal_id);
+  EXPECT_EQ(back.kind, m.kind);
+}
+
+// --- temporal ids ---------------------------------------------------------------
+
+TEST(TemporalTest, AllocateFreeLifecycle) {
+  TemporalIdService svc;
+  const uint64_t a = svc.Allocate();
+  const uint64_t b = svc.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(svc.IsLive(a));
+  EXPECT_TRUE(svc.IsLive(b));
+  svc.Free(a);
+  EXPECT_FALSE(svc.IsLive(a));
+  EXPECT_TRUE(svc.IsLive(b));
+}
+
+TEST(TemporalTest, StaticIdIsAlwaysLive) {
+  TemporalIdService svc;
+  EXPECT_TRUE(svc.IsLive(TemporalIdService::kStaticId));
+  svc.Free(TemporalIdService::kStaticId);  // no effect
+  EXPECT_TRUE(svc.IsLive(TemporalIdService::kStaticId));
+}
+
+TEST(TemporalTest, IdsAreNeverReused) {
+  TemporalIdService svc;
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = svc.Allocate();
+    EXPECT_TRUE(seen.insert(id).second);
+    if (i % 3 == 0) {
+      svc.Free(id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpi::runtime

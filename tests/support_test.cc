@@ -1,0 +1,149 @@
+// Unit tests for src/support: RNG determinism/distribution, statistics, and
+// the table printer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/support/rng.h"
+#include "src/support/stats.h"
+#include "src/support/table.h"
+
+namespace cpi {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0, 10));
+    EXPECT_TRUE(rng.Chance(10, 10));
+  }
+}
+
+TEST(StatsTest, MeanMedianMinMax) {
+  std::vector<double> xs = {3, 1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.8);
+  EXPECT_DOUBLE_EQ(Median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(Min(xs), 1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 5.0);
+}
+
+TEST(StatsTest, MedianEvenCount) {
+  EXPECT_DOUBLE_EQ(Median({1, 2, 3, 4}), 2.5);
+}
+
+TEST(StatsTest, MedianSingleElement) {
+  EXPECT_DOUBLE_EQ(Median({42.0}), 42.0);
+}
+
+TEST(StatsTest, GeomeanOfEqualValues) {
+  EXPECT_NEAR(Geomean({2, 2, 2}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, GeomeanKnownValue) {
+  EXPECT_NEAR(Geomean({1, 4}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, StdDevOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(StdDev({5, 5, 5, 5}), 0.0);
+}
+
+TEST(StatsTest, OverheadPercent) {
+  EXPECT_NEAR(OverheadPercent(103.0, 100.0), 3.0, 1e-9);
+  EXPECT_NEAR(OverheadPercent(100.0, 100.0), 0.0, 1e-9);
+  EXPECT_NEAR(OverheadPercent(95.0, 100.0), -5.0, 1e-9);
+}
+
+TEST(StatsTest, PercentHandlesZeroDenominator) {
+  EXPECT_DOUBLE_EQ(Percent(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Percent(1, 4), 25.0);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorRows) {
+  Table t({"x"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::string s = t.ToString();
+  // Header separator plus the explicit one.
+  size_t first = s.find("|--");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(s.find("|--", first + 1), std::string::npos);
+}
+
+TEST(TableTest, FormatPercent) {
+  EXPECT_EQ(Table::FormatPercent(3.14), "3.1%");
+  EXPECT_EQ(Table::FormatPercent(-0.42), "-0.4%");
+  EXPECT_EQ(Table::FormatPercent(0.0), "0.0%");
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(Table::FormatDouble(2.5, 2), "2.50");
+  EXPECT_EQ(Table::FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace cpi
