@@ -1,5 +1,5 @@
-// Reproduces Fig. 4: Phoronix-style "server setting" suite under SafeStack,
-// CPS and CPI.
+// Reproduces Fig. 4: Phoronix-style "server setting" suite under every
+// registry scheme that reports an overhead column.
 //
 // Expected shape: most benchmarks within a few percent for SafeStack/CPS;
 // CPI noticeably higher only on the pointer-intensive entries, with pybench
@@ -7,24 +7,29 @@
 // overhead of the pybench benchmark" the paper calls out in §5.3.
 #include <cstdio>
 
+#include "src/core/scheme.h"
 #include "src/support/table.h"
 #include "src/workloads/measure.h"
 
 int main() {
   std::printf("Fig. 4 — Phoronix suite performance overhead\n\n");
 
-  using cpi::core::Protection;
-  const std::vector<Protection> protections = {Protection::kSafeStack, Protection::kCps,
-                                               Protection::kCpi};
+  using cpi::core::ProtectionScheme;
+  const auto schemes = cpi::core::SchemeRegistry::OverheadColumns();
   const auto measurements = cpi::workloads::MeasureWorkloads(
-      cpi::workloads::Phoronix(), protections, /*scale=*/1);
+      cpi::workloads::Phoronix(), cpi::workloads::OverheadProtections(), /*scale=*/1);
 
-  cpi::Table table({"Benchmark", "Safe Stack", "CPS", "CPI"});
+  std::vector<std::string> header = {"Benchmark"};
+  for (const ProtectionScheme* s : schemes) {
+    header.push_back(s->name());
+  }
+  cpi::Table table(header);
   for (const auto& m : measurements) {
-    table.AddRow({m.workload,
-                  cpi::Table::FormatPercent(m.overhead_pct.at(Protection::kSafeStack)),
-                  cpi::Table::FormatPercent(m.overhead_pct.at(Protection::kCps)),
-                  cpi::Table::FormatPercent(m.overhead_pct.at(Protection::kCpi))});
+    std::vector<std::string> row = {m.workload};
+    for (const ProtectionScheme* s : schemes) {
+      row.push_back(cpi::Table::FormatPercent(m.overhead_pct.at(s->id())));
+    }
+    table.AddRow(row);
   }
   table.Print();
   std::printf("\nPaper reference: most Phoronix overheads within measurement noise for\n"

@@ -1,7 +1,7 @@
 // Reproduces Fig. 5: the defense-mechanism comparison matrix — for each
-// mechanism, whether it stops all control-flow hijacks (measured against the
-// full RIPE-style matrix) and its average performance overhead (measured on
-// the SPEC workload models).
+// registry scheme (SchemeRegistry::DefenseRows), whether it stops all
+// control-flow hijacks (measured against the full RIPE-style matrix) and its
+// average performance overhead (measured on the SPEC workload models).
 //
 // Expected shape, matching the figure's right-hand columns:
 //   memory safety (SoftBound) : stops all, huge overhead
@@ -10,36 +10,20 @@
 //   SafeStack                 : return addresses only, ~0%
 //   stack cookies             : contiguous ret smashes only, ~0-2%
 //   CFI (coarse)              : bypassable, moderate overhead
+//   PtrEnc                    : stops all, CPS-like overhead, no safe region
 #include <cstdio>
 
 #include "src/attacks/ripe.h"
+#include "src/core/scheme.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
 #include "src/workloads/measure.h"
 
-namespace {
-
-using cpi::core::Config;
-using cpi::core::Protection;
-
-struct Row {
-  Protection protection;
-  const char* property;
-};
-
-}  // namespace
-
 int main() {
   std::printf("Fig. 5 — control-flow hijack defense mechanisms\n\n");
 
-  const Row rows[] = {
-      {Protection::kSoftBound, "Memory Safety"},
-      {Protection::kCpi, "Code-Pointer Integrity"},
-      {Protection::kCps, "Code-Pointer Separation"},
-      {Protection::kSafeStack, "Safe Stack"},
-      {Protection::kStackCookies, "Stack cookies"},
-      {Protection::kCfi, "Control-Flow Integrity"},
-  };
+  using cpi::core::Config;
+  using cpi::core::ProtectionScheme;
 
   // Measure overheads on a representative subset (full SPEC set under
   // SoftBound is slow and partially unrunnable; use the Table 3 approach).
@@ -51,9 +35,9 @@ int main() {
   }
 
   cpi::Table table({"Mechanism", "Stops all control-flow hijacks?", "Avg overhead"});
-  for (const Row& row : rows) {
+  for (const ProtectionScheme* s : cpi::core::SchemeRegistry::DefenseRows()) {
     Config config;
-    config.protection = row.protection;
+    config.protection = s->id();
 
     int hijacked = 0;
     int total = 0;
@@ -90,7 +74,7 @@ int main() {
     if (any_failed) {
       overhead += " (some fail)";
     }
-    table.AddRow({row.property, verdict, overhead});
+    table.AddRow({s->description(), verdict, overhead});
   }
   table.Print();
 

@@ -1,52 +1,128 @@
 // Reproduces the §5.2 memory-overhead numbers: resident memory of the safe
-// region for each safe-pointer-store organisation, under SafeStack / CPS /
-// CPI.
+// region for each safe-pointer-store organisation, for every scheme in the
+// registry's overhead columns — plus the resident safe-store bytes
+// themselves, which expose each scheme's runtime shape (PtrEnc seals
+// pointers in place and therefore holds exactly 0 safe-store bytes).
 //
 // Expected shape (paper medians): SafeStack ~0.1%; CPS 2.1% (hash table) vs
 // 5.6% (array); CPI 13.9% (hash table) vs 105% (array) — the sparse array
 // trades memory for speed, the hash table the reverse.
 #include <cstdio>
+#include <cstring>
+#include <map>
 
+#include "src/core/scheme.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
 #include "src/workloads/measure.h"
 
-int main() {
-  std::printf("§5.2 — memory overhead of the safe region (median over SPEC models)\n\n");
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
 
   using cpi::core::Config;
   using cpi::core::Protection;
+  using cpi::core::ProtectionScheme;
   using cpi::runtime::StoreKind;
 
-  cpi::Table table({"Configuration", "safestack", "cps", "cpi"});
+  const auto schemes = cpi::core::SchemeRegistry::OverheadColumns();
+
+  struct StoreResult {
+    StoreKind store;
+    std::map<Protection, double> median_overhead_pct;
+    std::map<Protection, double> median_safe_store_bytes;
+  };
+  std::vector<StoreResult> results;
+
+  // The vanilla baseline never touches the safe store; measure it once per
+  // workload rather than once per store organisation.
+  std::map<std::string, double> base_mem_by_workload;
+  for (const auto& w : cpi::workloads::SpecCpu2006()) {
+    Config vanilla;
+    auto base_module = w.build(1);
+    auto base = cpi::core::InstrumentAndRun(*base_module, vanilla, w.input);
+    base_mem_by_workload[w.name] = static_cast<double>(base.memory.TotalBytes());
+  }
+
   for (StoreKind store : {StoreKind::kHash, StoreKind::kTwoLevel, StoreKind::kArray}) {
     std::map<Protection, std::vector<double>> overheads;
+    std::map<Protection, std::vector<double>> store_bytes;
     for (const auto& w : cpi::workloads::SpecCpu2006()) {
-      Config vanilla;
-      auto base_module = w.build(1);
-      auto base = cpi::core::InstrumentAndRun(*base_module, vanilla, w.input);
-      const double base_mem = static_cast<double>(base.memory.TotalBytes());
+      const double base_mem = base_mem_by_workload.at(w.name);
 
-      for (Protection p : {Protection::kSafeStack, Protection::kCps, Protection::kCpi}) {
+      for (const ProtectionScheme* s : schemes) {
         Config config;
-        config.protection = p;
+        config.protection = s->id();
         config.store = store;
         auto module = w.build(1);
         auto r = cpi::core::InstrumentAndRun(*module, config, w.input);
         CPI_CHECK(r.status == cpi::vm::RunStatus::kOk);
-        overheads[p].push_back(cpi::OverheadPercent(
+        overheads[s->id()].push_back(cpi::OverheadPercent(
             static_cast<double>(r.memory.TotalBytes()), base_mem));
+        store_bytes[s->id()].push_back(static_cast<double>(r.memory.safe_store_bytes));
       }
     }
-    table.AddRow({std::string("store = ") + cpi::runtime::StoreKindName(store),
-                  cpi::Table::FormatPercent(cpi::Median(overheads[Protection::kSafeStack])),
-                  cpi::Table::FormatPercent(cpi::Median(overheads[Protection::kCps])),
-                  cpi::Table::FormatPercent(cpi::Median(overheads[Protection::kCpi]))});
+    StoreResult result;
+    result.store = store;
+    for (const ProtectionScheme* s : schemes) {
+      result.median_overhead_pct[s->id()] = cpi::Median(overheads[s->id()]);
+      result.median_safe_store_bytes[s->id()] = cpi::Median(store_bytes[s->id()]);
+    }
+    results.push_back(result);
+  }
+
+  if (json) {
+    std::printf("{\"bench\":\"mem_overhead\",\"stores\":[");
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::printf("%s{\"store\":\"%s\",\"median_overhead_pct\":{",
+                  i == 0 ? "" : ",", cpi::runtime::StoreKindName(results[i].store));
+      for (size_t j = 0; j < schemes.size(); ++j) {
+        std::printf("%s\"%s\":%.3f", j == 0 ? "" : ",", schemes[j]->name(),
+                    results[i].median_overhead_pct.at(schemes[j]->id()));
+      }
+      std::printf("},\"median_safe_store_bytes\":{");
+      for (size_t j = 0; j < schemes.size(); ++j) {
+        std::printf("%s\"%s\":%.0f", j == 0 ? "" : ",", schemes[j]->name(),
+                    results[i].median_safe_store_bytes.at(schemes[j]->id()));
+      }
+      std::printf("}}");
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+
+  std::printf("§5.2 — memory overhead of the safe region (median over SPEC models)\n\n");
+
+  std::vector<std::string> header = {"Configuration"};
+  for (const ProtectionScheme* s : schemes) {
+    header.push_back(s->name());
+  }
+  cpi::Table table(header);
+  for (const auto& result : results) {
+    std::vector<std::string> row = {std::string("store = ") +
+                                    cpi::runtime::StoreKindName(result.store)};
+    for (const ProtectionScheme* s : schemes) {
+      row.push_back(cpi::Table::FormatPercent(result.median_overhead_pct.at(s->id())));
+    }
+    table.AddRow(row);
   }
   table.Print();
 
+  std::printf("\nMedian resident safe-store bytes (runtime shape per scheme):\n\n");
+  cpi::Table bytes_table(header);
+  for (const auto& result : results) {
+    std::vector<std::string> row = {std::string("store = ") +
+                                    cpi::runtime::StoreKindName(result.store)};
+    for (const ProtectionScheme* s : schemes) {
+      row.push_back(std::to_string(
+          static_cast<uint64_t>(result.median_safe_store_bytes.at(s->id()))));
+    }
+    bytes_table.AddRow(row);
+  }
+  bytes_table.Print();
+
   std::printf("\nPaper reference (medians): safe stack 0.1%%; CPS 2.1%% hash / 5.6%% array;\n"
-              "CPI 13.9%% hash / 105%% array. Expect hash << array for CPI, and CPS well\n"
-              "below CPI for every organisation.\n");
+              "CPI 13.9%% hash / 105%% array. Expect hash << array for CPI, CPS well below\n"
+              "CPI for every organisation, and ptrenc at exactly 0 safe-store bytes (its\n"
+              "MACs live in the pointers' own high bits).\n");
   return 0;
 }

@@ -1,37 +1,38 @@
-// Reproduces §5.1: effectiveness on the RIPE-style attack matrix.
+// Reproduces §5.1: effectiveness on the RIPE-style attack matrix, one row
+// per registry scheme (SchemeRegistry::RipeRows), so new defenses join the
+// matrix automatically.
 //
 // Expected shape: the vanilla build is hijacked by (nearly) all attacks;
 // stack cookies stop only contiguous return-address smashes; coarse CFI is
 // bypassed by its valid-set targets; the safe stack stops all return-address
-// attacks; CPS and CPI stop everything (the paper's "Levee deterministically
-// prevents all attacks, both in CPS and CPI mode").
+// attacks; CPS, CPI and PtrEnc stop everything (the paper's "Levee
+// deterministically prevents all attacks, both in CPS and CPI mode" —
+// PtrEnc reaches the same verdict with sealed pointers instead of a safe
+// region).
 #include <cstdio>
 
 #include "src/attacks/ripe.h"
+#include "src/core/scheme.h"
 #include "src/support/table.h"
 
 int main() {
-  using cpi::attacks::AttackOutcome;
   using cpi::core::Config;
   using cpi::core::Protection;
+  using cpi::core::ProtectionScheme;
 
   const auto specs = cpi::attacks::GenerateAttackMatrix();
   std::printf("RIPE-style attack matrix: %zu attack combinations\n\n", specs.size());
 
   cpi::Table table({"Protection", "Hijacked", "Prevented", "Crashed", "No effect"});
-  const Protection configs[] = {Protection::kNone,         Protection::kStackCookies,
-                                Protection::kCfi,          Protection::kSafeStack,
-                                Protection::kCps,          Protection::kCpi};
-  for (Protection p : configs) {
+  for (const ProtectionScheme* s : cpi::core::SchemeRegistry::RipeRows()) {
     Config config;
-    config.protection = p;
+    config.protection = s->id();
     int counts[4] = {0, 0, 0, 0};
     for (const auto& r : cpi::attacks::RunAttackMatrix(config)) {
       ++counts[static_cast<int>(r.outcome)];
     }
-    table.AddRow({cpi::core::ProtectionName(p), std::to_string(counts[0]),
-                  std::to_string(counts[1]), std::to_string(counts[2]),
-                  std::to_string(counts[3])});
+    table.AddRow({s->name(), std::to_string(counts[0]), std::to_string(counts[1]),
+                  std::to_string(counts[2]), std::to_string(counts[3])});
   }
   table.Print();
 
@@ -45,6 +46,6 @@ int main() {
   }
 
   std::printf("\nPaper reference: vanilla Ubuntu 6.06 833-848/850 exploits succeed;\n"
-              "with CPS or CPI, none do. Expect 0 hijacks for cps and cpi rows.\n");
+              "with CPS or CPI, none do. Expect 0 hijacks for cps, cpi and ptrenc rows.\n");
   return 0;
 }

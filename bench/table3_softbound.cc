@@ -1,5 +1,5 @@
-// Reproduces Table 3: Levee (SafeStack/CPS/CPI) vs SoftBound-style full
-// memory safety on the benchmarks SoftBound can run.
+// Reproduces Table 3: Levee (the registry's overhead-column schemes) vs
+// SoftBound-style full memory safety on the benchmarks SoftBound can run.
 //
 // Expected shape: SoftBound an order of magnitude above CPI (paper: 60-250%
 // vs 2.6-5.8%), and — like the paper observed — some workloads simply do not
@@ -7,6 +7,7 @@
 // violations); those rows are reported as "fails".
 #include <cstdio>
 
+#include "src/core/scheme.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
 #include "src/workloads/measure.h"
@@ -16,8 +17,19 @@ int main() {
 
   using cpi::core::Config;
   using cpi::core::Protection;
+  using cpi::core::ProtectionScheme;
 
-  cpi::Table table({"Benchmark", "Safe Stack", "CPS", "CPI", "SoftBound"});
+  // The comparison columns: every overhead scheme, then the SoftBound row
+  // subject (its own column, since it is this table's point).
+  std::vector<const ProtectionScheme*> schemes =
+      cpi::core::SchemeRegistry::OverheadColumns();
+  schemes.push_back(&cpi::core::SchemeRegistry::Get(Protection::kSoftBound));
+
+  std::vector<std::string> header = {"Benchmark"};
+  for (const ProtectionScheme* s : schemes) {
+    header.push_back(s->name());
+  }
+  cpi::Table table(header);
   int softbound_failures = 0;
 
   for (const auto& w : cpi::workloads::SpecCpu2006()) {
@@ -30,24 +42,23 @@ int main() {
     CPI_CHECK(base.status == cpi::vm::RunStatus::kOk);
     const double base_cycles = static_cast<double>(base.counters.cycles);
 
-    auto overhead_cell = [&](Protection p) -> std::string {
+    std::vector<std::string> row = {w.name};
+    for (const ProtectionScheme* s : schemes) {
       Config config;
-      config.protection = p;
+      config.protection = s->id();
       auto module = w.build(1);
       auto r = cpi::core::InstrumentAndRun(*module, config, w.input);
       if (r.status != cpi::vm::RunStatus::kOk) {
-        if (p == Protection::kSoftBound) {
+        if (s->id() == Protection::kSoftBound) {
           ++softbound_failures;
         }
-        return "fails";
+        row.push_back("fails");
+        continue;
       }
-      return cpi::Table::FormatPercent(
-          cpi::OverheadPercent(static_cast<double>(r.counters.cycles), base_cycles));
-    };
-
-    table.AddRow({w.name, overhead_cell(Protection::kSafeStack),
-                  overhead_cell(Protection::kCps), overhead_cell(Protection::kCpi),
-                  overhead_cell(Protection::kSoftBound)});
+      row.push_back(cpi::Table::FormatPercent(
+          cpi::OverheadPercent(static_cast<double>(r.counters.cycles), base_cycles)));
+    }
+    table.AddRow(row);
   }
   table.Print();
 

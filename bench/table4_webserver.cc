@@ -1,5 +1,5 @@
 // Reproduces Table 4: web-server stack throughput (static page / wsgi /
-// dynamic page) under SafeStack, CPS and CPI.
+// dynamic page) under every registry scheme that reports an overhead column.
 //
 // Throughput degradation is reported as overhead (the paper reports
 // throughput loss; with a deterministic cost model the cycle overhead is the
@@ -8,25 +8,29 @@
 // everything else (paper: 138.8%).
 #include <cstdio>
 
+#include "src/core/scheme.h"
 #include "src/support/table.h"
 #include "src/workloads/measure.h"
 
 int main() {
   std::printf("Table 4 — web-server stack throughput overhead\n\n");
 
-  using cpi::core::Protection;
-  const std::vector<Protection> protections = {Protection::kSafeStack, Protection::kCps,
-                                               Protection::kCpi};
-  const auto measurements =
-      cpi::workloads::MeasureWorkloads(cpi::workloads::WebServer(), protections,
-                                       /*scale=*/1);
+  using cpi::core::ProtectionScheme;
+  const auto schemes = cpi::core::SchemeRegistry::OverheadColumns();
+  const auto measurements = cpi::workloads::MeasureWorkloads(
+      cpi::workloads::WebServer(), cpi::workloads::OverheadProtections(), /*scale=*/1);
 
-  cpi::Table table({"Benchmark", "Safe Stack", "CPS", "CPI"});
+  std::vector<std::string> header = {"Benchmark"};
+  for (const ProtectionScheme* s : schemes) {
+    header.push_back(s->name());
+  }
+  cpi::Table table(header);
   for (const auto& m : measurements) {
-    table.AddRow({m.workload,
-                  cpi::Table::FormatPercent(m.overhead_pct.at(Protection::kSafeStack)),
-                  cpi::Table::FormatPercent(m.overhead_pct.at(Protection::kCps)),
-                  cpi::Table::FormatPercent(m.overhead_pct.at(Protection::kCpi))});
+    std::vector<std::string> row = {m.workload};
+    for (const ProtectionScheme* s : schemes) {
+      row.push_back(cpi::Table::FormatPercent(m.overhead_pct.at(s->id())));
+    }
+    table.AddRow(row);
   }
   table.Print();
 

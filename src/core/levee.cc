@@ -1,21 +1,20 @@
 #include "src/core/levee.h"
 
+#include "src/core/scheme.h"
 #include "src/ir/verifier.h"
 
 namespace cpi::core {
 
-const char* ProtectionName(Protection p) {
-  switch (p) {
-    case Protection::kNone: return "vanilla";
-    case Protection::kSafeStack: return "safestack";
-    case Protection::kCps: return "cps";
-    case Protection::kCpi: return "cpi";
-    case Protection::kSoftBound: return "softbound";
-    case Protection::kCfi: return "cfi";
-    case Protection::kStackCookies: return "cookies";
-  }
-  CPI_UNREACHABLE();
+namespace {
+
+const ProtectionScheme& SchemeFor(const Config& config) {
+  return config.scheme != nullptr ? *config.scheme
+                                  : SchemeRegistry::Get(config.protection);
 }
+
+}  // namespace
+
+const char* ProtectionName(Protection p) { return SchemeRegistry::Get(p).name(); }
 
 CompileOutput Compiler::Instrument(ir::Module& module) const {
   const std::vector<std::string> errors = ir::VerifyModule(module);
@@ -24,12 +23,15 @@ CompileOutput Compiler::Instrument(ir::Module& module) const {
   }
   CPI_CHECK(errors.empty());
 
+  const ProtectionScheme& scheme = SchemeFor(config_);
+
   CompileOutput out;
   out.instructions_before = module.InstructionCount();
 
   analysis::ClassifyOptions copts;
   copts.char_star_heuristic = config_.char_star_heuristic;
   copts.cast_dataflow = config_.cast_dataflow;
+  scheme.ConfigureClassification(copts);
   out.stats = analysis::ComputeModuleStats(module, copts);
 
   instrument::PassOptions popts;
@@ -38,29 +40,7 @@ CompileOutput Compiler::Instrument(ir::Module& module) const {
   popts.debug_mode = config_.debug_mode;
   popts.temporal = config_.temporal;
 
-  switch (config_.protection) {
-    case Protection::kNone:
-      instrument::FinalizeModule(module);
-      break;
-    case Protection::kSafeStack:
-      instrument::ApplySafeStack(module);
-      break;
-    case Protection::kCps:
-      instrument::ApplyCps(module, popts);
-      break;
-    case Protection::kCpi:
-      instrument::ApplyCpi(module, popts);
-      break;
-    case Protection::kSoftBound:
-      instrument::ApplySoftBound(module);
-      break;
-    case Protection::kCfi:
-      instrument::ApplyCfi(module);
-      break;
-    case Protection::kStackCookies:
-      instrument::ApplyStackCookies(module);
-      break;
-  }
+  scheme.Instrument(module, popts);
 
   out.instructions_after = module.InstructionCount();
   return out;
@@ -68,6 +48,7 @@ CompileOutput Compiler::Instrument(ir::Module& module) const {
 
 vm::RunResult Run(const ir::Module& module, const Config& config, const Input& input) {
   vm::RunOptions options;
+  SchemeFor(config).ConfigureRun(options);
   options.store = config.store;
   options.isolation = config.isolation;
   options.mpx_assist = config.mpx_assist;

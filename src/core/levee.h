@@ -35,12 +35,18 @@ enum class Protection {
   kSoftBound,     // full-memory-safety baseline
   kCfi,           // coarse-grained CFI baseline
   kStackCookies,  // canary baseline
+  kPtrEnc,        // PACTight/LIPPEN-style in-place pointer sealing
 };
 
 const char* ProtectionName(Protection p);
 
+class ProtectionScheme;  // src/core/scheme.h
+
 struct Config {
   Protection protection = Protection::kNone;
+  // When set, overrides `protection`: compilation and execution are driven
+  // by this (possibly out-of-tree) scheme instead of a registry built-in.
+  const ProtectionScheme* scheme = nullptr;
   runtime::StoreKind store = runtime::StoreKind::kArray;
   runtime::IsolationKind isolation = runtime::IsolationKind::kSegment;
   bool debug_mode = false;          // §3.2.2 mirror-and-compare

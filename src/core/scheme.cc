@@ -1,0 +1,179 @@
+#include "src/core/scheme.h"
+
+#include <optional>
+
+#include "src/support/check.h"
+
+namespace cpi::core {
+
+namespace {
+
+// The built-in schemes share one implementation driven by a descriptor; an
+// out-of-tree scheme subclasses ProtectionScheme directly instead.
+class BuiltinScheme final : public ProtectionScheme {
+ public:
+  struct Spec {
+    Protection id;
+    const char* name;
+    const char* description;
+    void (*instrument)(ir::Module&, const instrument::PassOptions&);
+    bool uses_safe_store = false;
+    // Sensitivity criterion, when the scheme runs the classifier.
+    std::optional<analysis::Protection> classification;
+    vm::OpCosts costs;
+    SchemeReporting reporting;
+  };
+
+  explicit BuiltinScheme(const Spec& spec) : spec_(spec) {}
+
+  Protection id() const override { return spec_.id; }
+  const char* name() const override { return spec_.name; }
+  const char* description() const override { return spec_.description; }
+
+  void Instrument(ir::Module& module,
+                  const instrument::PassOptions& options) const override {
+    spec_.instrument(module, options);
+  }
+
+  bool UsesSafeStore() const override { return spec_.uses_safe_store; }
+
+  void ConfigureRun(vm::RunOptions& options) const override {
+    options.use_safe_store = spec_.uses_safe_store;
+    options.costs = spec_.costs;
+  }
+
+  void ConfigureClassification(analysis::ClassifyOptions& options) const override {
+    if (spec_.classification.has_value()) {
+      options.protection = *spec_.classification;
+    }
+  }
+
+  SchemeReporting reporting() const override { return spec_.reporting; }
+
+ private:
+  Spec spec_;
+};
+
+struct Registry {
+  std::vector<std::unique_ptr<ProtectionScheme>> owned;
+  std::vector<const ProtectionScheme*> all;
+
+  void Add(std::unique_ptr<ProtectionScheme> scheme) {
+    all.push_back(scheme.get());
+    owned.push_back(std::move(scheme));
+  }
+
+  Registry() {
+    using instrument::PassOptions;
+    // Weakest to strongest, matching the §5.1 matrix ordering; the paper's
+    // evaluation columns (SafeStack/CPS/CPI + PtrEnc) opt into
+    // overhead_column.
+    Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
+        Protection::kNone, "vanilla", "No protection",
+        +[](ir::Module& m, const PassOptions&) { instrument::FinalizeModule(m); },
+        /*uses_safe_store=*/false, std::nullopt, vm::OpCosts{},
+        SchemeReporting{false, true, false}}));
+    Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
+        Protection::kStackCookies, "cookies", "Stack cookies",
+        +[](ir::Module& m, const PassOptions&) { instrument::ApplyStackCookies(m); },
+        /*uses_safe_store=*/false, std::nullopt, vm::OpCosts{},
+        SchemeReporting{false, true, true}}));
+    Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
+        Protection::kCfi, "cfi", "Control-Flow Integrity",
+        +[](ir::Module& m, const PassOptions&) { instrument::ApplyCfi(m); },
+        /*uses_safe_store=*/false, std::nullopt,
+        vm::OpCosts{/*check=*/1, /*cfi_check=*/3, /*seal=*/4, /*auth=*/4},
+        SchemeReporting{false, true, true}}));
+    Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
+        Protection::kSafeStack, "safestack", "Safe Stack",
+        +[](ir::Module& m, const PassOptions&) { instrument::ApplySafeStack(m); },
+        /*uses_safe_store=*/false, std::nullopt, vm::OpCosts{},
+        SchemeReporting{true, true, true}}));
+    Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
+        Protection::kCps, "cps", "Code-Pointer Separation",
+        +[](ir::Module& m, const PassOptions& o) { instrument::ApplyCps(m, o); },
+        /*uses_safe_store=*/true, analysis::Protection::kCps,
+        vm::OpCosts{/*check=*/1, /*cfi_check=*/3, /*seal=*/4, /*auth=*/4},
+        SchemeReporting{true, true, true}}));
+    Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
+        Protection::kCpi, "cpi", "Code-Pointer Integrity",
+        +[](ir::Module& m, const PassOptions& o) { instrument::ApplyCpi(m, o); },
+        /*uses_safe_store=*/true, analysis::Protection::kCpi,
+        vm::OpCosts{/*check=*/1, /*cfi_check=*/3, /*seal=*/4, /*auth=*/4},
+        SchemeReporting{true, true, true}}));
+    Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
+        Protection::kSoftBound, "softbound", "Memory Safety",
+        +[](ir::Module& m, const PassOptions&) { instrument::ApplySoftBound(m); },
+        /*uses_safe_store=*/false, std::nullopt,
+        vm::OpCosts{/*check=*/1, /*cfi_check=*/3, /*seal=*/4, /*auth=*/4},
+        SchemeReporting{false, true, true}}));
+    Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
+        Protection::kPtrEnc, "ptrenc", "In-Place Pointer Encryption",
+        +[](ir::Module& m, const PassOptions& o) { instrument::ApplyPtrEnc(m, o); },
+        /*uses_safe_store=*/false, analysis::Protection::kCps,
+        // PAC-style sign/authenticate latency dominates; no separate checks.
+        vm::OpCosts{/*check=*/1, /*cfi_check=*/3, /*seal=*/4, /*auth=*/4},
+        SchemeReporting{true, true, true}}));
+  }
+};
+
+Registry& TheRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+std::vector<const ProtectionScheme*> Filter(bool SchemeReporting::*flag) {
+  std::vector<const ProtectionScheme*> out;
+  for (const ProtectionScheme* s : SchemeRegistry::All()) {
+    if (s->reporting().*flag) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<const ProtectionScheme*>& SchemeRegistry::All() {
+  return TheRegistry().all;
+}
+
+const ProtectionScheme& SchemeRegistry::Get(Protection p) {
+  for (const ProtectionScheme* s : All()) {
+    if (s->id() == p) {
+      return *s;
+    }
+  }
+  CPI_UNREACHABLE();
+}
+
+const ProtectionScheme* SchemeRegistry::FindByName(std::string_view name) {
+  for (const ProtectionScheme* s : All()) {
+    if (name == s->name()) {
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+const ProtectionScheme& SchemeRegistry::Register(
+    std::unique_ptr<ProtectionScheme> scheme) {
+  CPI_CHECK(scheme != nullptr);
+  Registry& registry = TheRegistry();
+  registry.Add(std::move(scheme));
+  return *registry.all.back();
+}
+
+std::vector<const ProtectionScheme*> SchemeRegistry::OverheadColumns() {
+  return Filter(&SchemeReporting::overhead_column);
+}
+
+std::vector<const ProtectionScheme*> SchemeRegistry::RipeRows() {
+  return Filter(&SchemeReporting::ripe_row);
+}
+
+std::vector<const ProtectionScheme*> SchemeRegistry::DefenseRows() {
+  return Filter(&SchemeReporting::defense_row);
+}
+
+}  // namespace cpi::core

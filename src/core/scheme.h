@@ -1,0 +1,98 @@
+// The ProtectionScheme extension point.
+//
+// The paper's Levee prototype (§4) composes a protection out of (a)
+// instrumentation passes, (b) runtime support, (c) a sensitivity analysis
+// configuration and (d) an evaluation harness. A ProtectionScheme bundles
+// those four facets into one self-describing object, and the SchemeRegistry
+// makes the set of schemes open-ended: the compiler facade, the VM option
+// plumbing and every bench driver iterate the registry instead of switching
+// on an enum, so adding a defense means registering one object — no edits
+// across layers.
+//
+// The seven protections of the paper's evaluation (vanilla, SafeStack, CPS,
+// CPI, SoftBound, coarse CFI, stack cookies) are registered built-ins, as is
+// PtrEnc, the PACTight/LIPPEN-style in-place pointer-sealing scheme that
+// exercises the "fundamentally different runtime shape" case: no safe region
+// at all.
+#ifndef CPI_SRC_CORE_SCHEME_H_
+#define CPI_SRC_CORE_SCHEME_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/classify.h"
+#include "src/core/levee.h"
+#include "src/instrument/passes.h"
+#include "src/vm/machine.h"
+
+namespace cpi::core {
+
+// Where the scheme's results appear in the paper-style reports.
+struct SchemeReporting {
+  // Overhead column in the Table 1 / Fig. 4 / Table 4 / §5.2 memory benches.
+  bool overhead_column = false;
+  // Row in the §5.1 RIPE-style attack matrix.
+  bool ripe_row = true;
+  // Row in the Fig. 5 defense-mechanism comparison.
+  bool defense_row = true;
+};
+
+class ProtectionScheme {
+ public:
+  virtual ~ProtectionScheme() = default;
+
+  virtual Protection id() const = 0;
+  // Short reporting name used for table rows/columns ("cpi", "ptrenc").
+  virtual const char* name() const = 0;
+  // Fig. 5-style mechanism label ("Code-Pointer Integrity").
+  virtual const char* description() const = 0;
+
+  // (a) Applies the scheme's instrumentation passes to a verified module.
+  virtual void Instrument(ir::Module& module,
+                          const instrument::PassOptions& options) const = 0;
+
+  // (b) Runtime requirements: whether a safe pointer store backs the run
+  // (mirrored into vm::RunOptions::use_safe_store — a scheme without it
+  // never allocates one) and the scheme's per-op cycle costs for the VM's
+  // cost model.
+  virtual bool UsesSafeStore() const { return false; }
+  virtual void ConfigureRun(vm::RunOptions& options) const {
+    options.use_safe_store = UsesSafeStore();
+  }
+
+  // (c) Classification options for the scheme's sensitivity analysis
+  // (schemes without a static analysis leave the defaults untouched).
+  virtual void ConfigureClassification(analysis::ClassifyOptions& options) const {
+    (void)options;
+  }
+
+  // (d) Reporting name/columns for the Table 1/2-style output.
+  virtual SchemeReporting reporting() const { return {}; }
+};
+
+// Process-global scheme registry. Registration order is reporting order.
+class SchemeRegistry {
+ public:
+  // Every registered scheme: the eight built-ins, then runtime extensions.
+  static const std::vector<const ProtectionScheme*>& All();
+
+  // The built-in (or first registered) scheme with the given id.
+  static const ProtectionScheme& Get(Protection p);
+
+  // Lookup by reporting name; nullptr when unknown.
+  static const ProtectionScheme* FindByName(std::string_view name);
+
+  // The pluggable extension point: registers an out-of-tree scheme. The
+  // registry takes ownership; the scheme outlives every later lookup.
+  static const ProtectionScheme& Register(std::unique_ptr<ProtectionScheme> scheme);
+
+  // Reporting filters used by the bench drivers.
+  static std::vector<const ProtectionScheme*> OverheadColumns();
+  static std::vector<const ProtectionScheme*> RipeRows();
+  static std::vector<const ProtectionScheme*> DefenseRows();
+};
+
+}  // namespace cpi::core
+
+#endif  // CPI_SRC_CORE_SCHEME_H_

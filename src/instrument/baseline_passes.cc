@@ -44,7 +44,7 @@ bool IsMemTransfer(ir::LibFunc f) {
 
 void ApplySoftBound(ir::Module& module) {
   CPI_CHECK(!module.protection().cpi && !module.protection().cps &&
-            !module.protection().softbound);
+            !module.protection().softbound && !module.protection().ptrenc);
 
   for (const auto& f : module.functions()) {
     std::map<Value*, Value*> replacements;

@@ -41,7 +41,7 @@ constexpr IntrinsicSet kCpsIntrinsics = {
 void InstrumentModule(ir::Module& module, analysis::Protection protection,
                       const PassOptions& options, const IntrinsicSet& ids) {
   CPI_CHECK(!module.protection().cpi && !module.protection().cps &&
-            !module.protection().softbound);
+            !module.protection().softbound && !module.protection().ptrenc);
 
   analysis::ClassifyOptions copts;
   copts.protection = protection;

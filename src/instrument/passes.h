@@ -45,6 +45,12 @@ void ApplyCfi(ir::Module& module);
 // Baseline: stack cookies for functions with character-array locals.
 void ApplyStackCookies(ir::Module& module);
 
+// PACTight/LIPPEN-style in-place pointer sealing: code pointers are stored
+// sealed (keyed MAC over value+location in their high bits) in regular
+// memory, loads authenticate, indirect calls assert authentication. Needs no
+// safe region at all; the VM also seals saved return tokens in place.
+void ApplyPtrEnc(ir::Module& module, const PassOptions& options = {});
+
 // Re-numbers all functions; needed before execution even when no pass ran.
 void FinalizeModule(ir::Module& module);
 

@@ -121,6 +121,9 @@ const char* IntrinsicName(IntrinsicId id) {
     case IntrinsicId::kSbLoad: return "sb_load";
     case IntrinsicId::kSbCheck: return "sb_check";
     case IntrinsicId::kCfiCheck: return "cfi_check";
+    case IntrinsicId::kSealStore: return "seal_store";
+    case IntrinsicId::kSealLoad: return "seal_load";
+    case IntrinsicId::kSealAssertCode: return "seal_assert_code";
   }
   CPI_UNREACHABLE();
 }

@@ -38,6 +38,13 @@ enum class IntrinsicId {
 
   // --- CFI baseline: coarse-grained valid-target-set check.
   kCfiCheck,  // (fnptr) -> fnptr ; target must be an address-taken function
+
+  // --- PtrEnc (PACTight/LIPPEN-style in-place pointer sealing): protected
+  // pointers stay in regular memory, carrying a keyed MAC over (value,
+  // location) in their unused high bits. No safe-region storage at all.
+  kSealStore,       // (addr, value) -> void ; seal code pointers in place
+  kSealLoad,        // (addr) -> value       ; authenticate + strip on load
+  kSealAssertCode,  // (fnptr) -> fnptr      ; value must have authenticated
 };
 
 const char* IntrinsicName(IntrinsicId id);

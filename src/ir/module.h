@@ -51,6 +51,10 @@ struct ProtectionFlags {
   bool softbound = false;     // full-memory-safety baseline
   bool cfi = false;           // coarse CFI baseline
   bool stack_cookies = false; // canary baseline
+  // PACTight/LIPPEN-style in-place pointer sealing: code pointers (and the
+  // VM's saved return tokens) carry a keyed MAC in their high bits instead
+  // of living in a separate safe region.
+  bool ptrenc = false;
   // Debug mode (§3.2.2): mirror sensitive pointers into both regions and
   // compare on load — detects (rather than silently neutralises) attacks.
   bool debug_mode = false;

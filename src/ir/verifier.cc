@@ -337,6 +337,7 @@ class Verifier {
           case IntrinsicId::kCpsStore:
           case IntrinsicId::kCpsStoreUni:
           case IntrinsicId::kSbStore:
+          case IntrinsicId::kSealStore:
             if (expect_operands(2)) {
               expect_ptr(0);
             }
@@ -346,6 +347,7 @@ class Verifier {
           case IntrinsicId::kCpsLoad:
           case IntrinsicId::kCpsLoadUni:
           case IntrinsicId::kSbLoad:
+          case IntrinsicId::kSealLoad:
             if (expect_operands(1)) {
               expect_ptr(0);
             }
@@ -360,6 +362,7 @@ class Verifier {
           case IntrinsicId::kCpiAssertCode:
           case IntrinsicId::kCpsAssertCode:
           case IntrinsicId::kCfiCheck:
+          case IntrinsicId::kSealAssertCode:
             if (expect_operands(1)) {
               expect_ptr(0);
             }

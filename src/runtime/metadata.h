@@ -16,7 +16,7 @@ enum class EntryKind : uint8_t {
 struct SafeEntry {
   uint64_t value = 0;
   uint64_t lower = 0;
-  uint64_t upper = 0;        // exclusive
+  uint64_t upper = 0;        // exclusive: the object occupies [lower, upper)
   uint64_t temporal_id = 0;  // 0 = static lifetime (globals, code)
   EntryKind kind = EntryKind::kNone;
 
@@ -26,16 +26,19 @@ struct SafeEntry {
   // metadata (lower > upper) so they can never address the safe region.
   bool HasValidBounds() const { return lower <= upper; }
 
-  // Spatial check for an access of `size` bytes at `addr`.
+  // Spatial check for an access of `size` bytes at `addr`: the access must
+  // start inside [lower, upper) and end at or before upper (the bound is
+  // exclusive, so `addr == upper` is already out of bounds).
   bool InBounds(uint64_t addr, uint64_t size) const {
-    return HasValidBounds() && addr >= lower && addr <= upper && size <= upper - addr;
+    return HasValidBounds() && addr >= lower && addr < upper && size <= upper - addr;
   }
 
   static SafeEntry Data(uint64_t value, uint64_t lower, uint64_t upper, uint64_t temporal_id) {
     return SafeEntry{value, lower, upper, temporal_id, EntryKind::kData};
   }
   static SafeEntry Code(uint64_t value) {
-    return SafeEntry{value, value, value, 0, EntryKind::kCode};
+    // A code pointer's "object" is the single entry address: [value, value+1).
+    return SafeEntry{value, value, value + 1, 0, EntryKind::kCode};
   }
   static SafeEntry Invalid(uint64_t value) {
     // lower > upper: never in bounds anywhere.
@@ -57,8 +60,9 @@ struct RegMeta {
   EntryKind kind = EntryKind::kNone;  // kNone: a regular (unsafe) value
 
   bool IsSafeValue() const { return kind != EntryKind::kNone; }
+  // Same exclusive-upper convention as SafeEntry::InBounds.
   bool InBounds(uint64_t addr, uint64_t size) const {
-    return lower <= upper && addr >= lower && addr <= upper && size <= upper - addr;
+    return lower <= upper && addr >= lower && addr < upper && size <= upper - addr;
   }
 
   static RegMeta FromEntry(const SafeEntry& e) {
@@ -67,7 +71,9 @@ struct RegMeta {
   static RegMeta Data(uint64_t lower, uint64_t upper, uint64_t temporal_id) {
     return RegMeta{lower, upper, temporal_id, EntryKind::kData};
   }
-  static RegMeta Code(uint64_t value) { return RegMeta{value, value, 0, EntryKind::kCode}; }
+  static RegMeta Code(uint64_t value) {
+    return RegMeta{value, value + 1, 0, EntryKind::kCode};
+  }
   static RegMeta Invalid() { return RegMeta{1, 0, 0, EntryKind::kData}; }
   static RegMeta None() { return RegMeta{}; }
 };

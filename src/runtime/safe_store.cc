@@ -1,6 +1,7 @@
 // The three safe-pointer-store organisations (§4).
 #include "src/runtime/safe_store.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
@@ -147,6 +148,9 @@ class TwoLevelStore final : public SafePointerStore {
   }
 
   uint64_t MemoryBytes() const override {
+    if (tables_.empty()) {
+      return 0;  // nothing materialised: a scheme that never stores pays nothing
+    }
     // Directory (8 bytes per present table, rounded to a page) + tables.
     const uint64_t directory = 4096;
     return directory + tables_.size() * kSecondLevelSlots * kSafeEntryBytes;
@@ -187,8 +191,6 @@ class TwoLevelStore final : public SafePointerStore {
 // array.
 class HashStore final : public SafePointerStore {
  public:
-  HashStore() : slots_(kInitialSlots) {}
-
   StoreKind kind() const override { return StoreKind::kHash; }
 
   void Set(uint64_t addr, const SafeEntry& entry, TouchList* touched) override {
@@ -196,7 +198,9 @@ class HashStore final : public SafePointerStore {
       Clear(addr, touched);
       return;
     }
-    if ((live_entries_ + tombstones_ + 1) * 10 > slots_.size() * 7) {
+    // The table materialises on first insertion, so an execution that never
+    // stores a protected pointer reports zero resident safe-store memory.
+    if (slots_.empty() || (live_entries_ + tombstones_ + 1) * 10 > slots_.size() * 7) {
       Rehash();
     }
     const uint64_t key = SlotOf(addr);
@@ -230,6 +234,9 @@ class HashStore final : public SafePointerStore {
   }
 
   SafeEntry Get(uint64_t addr, TouchList* touched) const override {
+    if (slots_.empty()) {
+      return SafeEntry{};
+    }
     const uint64_t key = SlotOf(addr);
     uint64_t index = Hash(key) & (slots_.size() - 1);
     for (;;) {
@@ -246,6 +253,9 @@ class HashStore final : public SafePointerStore {
   }
 
   void Clear(uint64_t addr, TouchList* touched) override {
+    if (slots_.empty()) {
+      return;
+    }
     const uint64_t key = SlotOf(addr);
     uint64_t index = Hash(key) & (slots_.size() - 1);
     for (;;) {
@@ -294,7 +304,7 @@ class HashStore final : public SafePointerStore {
 
   void Rehash() {
     std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.size() * 2, Slot{});
+    slots_.assign(std::max(old.size() * 2, kInitialSlots), Slot{});
     live_entries_ = 0;
     tombstones_ = 0;
     for (const Slot& s : old) {
@@ -319,27 +329,10 @@ void SafePointerStore::ClearRange(uint64_t addr, uint64_t size) {
 }
 
 void SafePointerStore::CopyRange(uint64_t dst, uint64_t src, uint64_t size) {
+  // Snapshot the source entries before clearing the destination, so
+  // overlapping ranges (forward or backward) transfer every entry intact.
   // Entries travel only between identically-aligned slots; a byte-shifted
-  // copy of a pointer is no longer a pointer, so its entry is dropped.
-  if (((dst ^ src) & 7) != 0) {
-    ClearRange(dst, size);
-    return;
-  }
-  const uint64_t first = (src + 7) & ~7ULL;
-  ClearRange(dst, size);
-  for (uint64_t a = first; a + 8 <= src + size; a += 8) {
-    SafeEntry e = Get(a, nullptr);
-    if (e.IsPresent()) {
-      Set(dst + (a - src), e, nullptr);
-    }
-  }
-}
-
-void SafePointerStore::MoveRange(uint64_t dst, uint64_t src, uint64_t size) {
-  if (dst == src) {
-    return;
-  }
-  // Collect then write, so overlapping ranges behave like memmove.
+  // copy of a pointer is no longer a pointer, so those entries are dropped.
   std::vector<std::pair<uint64_t, SafeEntry>> entries;
   if (((dst ^ src) & 7) == 0) {
     const uint64_t first = (src + 7) & ~7ULL;
@@ -354,6 +347,13 @@ void SafePointerStore::MoveRange(uint64_t dst, uint64_t src, uint64_t size) {
   for (const auto& [a, e] : entries) {
     Set(a, e, nullptr);
   }
+}
+
+void SafePointerStore::MoveRange(uint64_t dst, uint64_t src, uint64_t size) {
+  if (dst == src) {
+    return;
+  }
+  CopyRange(dst, src, size);
 }
 
 const char* StoreKindName(StoreKind kind) {

@@ -1,0 +1,65 @@
+// In-place pointer sealing (the PtrEnc scheme).
+//
+// PACTight/LIPPEN-style pointer protection without a separate safe region: a
+// protected pointer is stored in ordinary (corruptible) memory, but its
+// unused high 16 bits carry a keyed MAC computed over (pointer value,
+// storage location). Loads authenticate the MAC before the value may be used
+// as a code pointer; an attacker who overwrites the slot cannot forge the
+// MAC without the key, and cannot replay a sealed pointer at a different
+// location because the location is part of the MAC domain.
+//
+// The VM's address space keeps every legitimate value below 2^48 (see
+// src/vm/layout.h), so the high 16 bits are always free to hold the tag —
+// exactly the niche ARMv8.3 PAC uses on 48-bit virtual addresses.
+#ifndef CPI_SRC_RUNTIME_SEAL_H_
+#define CPI_SRC_RUNTIME_SEAL_H_
+
+#include <cstdint>
+
+namespace cpi::runtime {
+
+class PointerSealer {
+ public:
+  // Number of value bits below the tag field.
+  static constexpr int kValueBits = 48;
+  static constexpr uint64_t kValueMask = (1ULL << kValueBits) - 1;
+
+  explicit PointerSealer(uint64_t key) : key_(key) {}
+
+  // MAC over (value's low 48 bits, location, key). Never zero, so a raw
+  // (unsealed) word — whose high 16 bits are zero — can never authenticate.
+  uint16_t Mac(uint64_t value, uint64_t location) const;
+
+  // Seals `value` for storage at `location`.
+  uint64_t Seal(uint64_t value, uint64_t location) const {
+    return (value & kValueMask) |
+           (static_cast<uint64_t>(Mac(value, location)) << kValueBits);
+  }
+
+  // Authenticates a word read from `location`. On success writes the
+  // stripped pointer value to `*value` and returns true.
+  bool Auth(uint64_t sealed, uint64_t location, uint64_t* value) const {
+    const uint64_t stripped = sealed & kValueMask;
+    if ((sealed >> kValueBits) != Mac(stripped, location)) {
+      return false;
+    }
+    *value = stripped;
+    return true;
+  }
+
+  // True when the word carries any tag bits at all (a raw value does not).
+  static bool LooksSealed(uint64_t word) { return (word >> kValueBits) != 0; }
+
+  static uint64_t Strip(uint64_t sealed) { return sealed & kValueMask; }
+
+ private:
+  uint64_t key_;
+};
+
+// Derives a per-run sealing key from the VM seed (the software analogue of
+// the per-process PAC key the kernel programs at exec time).
+uint64_t DeriveSealKey(uint64_t seed);
+
+}  // namespace cpi::runtime
+
+#endif  // CPI_SRC_RUNTIME_SEAL_H_

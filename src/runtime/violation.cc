@@ -14,6 +14,7 @@ const char* ViolationName(Violation v) {
     case Violation::kStackCookieSmashed: return "stack-cookie-smashed";
     case Violation::kDebugModeMismatch: return "debug-mode-mismatch";
     case Violation::kSoftBoundViolation: return "softbound-violation";
+    case Violation::kPointerAuthFailure: return "pointer-auth-failure";
   }
   CPI_UNREACHABLE();
 }

@@ -16,6 +16,7 @@ enum class Violation {
   kStackCookieSmashed,  // canary mismatch on return
   kDebugModeMismatch,   // debug mode: regular copy diverged from safe copy
   kSoftBoundViolation,  // full-memory-safety baseline check failed
+  kPointerAuthFailure,  // PtrEnc: sealed-pointer MAC did not authenticate
 };
 
 const char* ViolationName(Violation v);

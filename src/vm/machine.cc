@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "src/runtime/seal.h"
 #include "src/support/rng.h"
 #include "src/vm/layout.h"
 
@@ -46,8 +47,6 @@ constexpr uint64_t kCallCycles = 3;
 constexpr uint64_t kAllocCycles = 24;
 constexpr uint64_t kFloatExtraCycles = 2;
 constexpr uint64_t kDivExtraCycles = 12;
-constexpr uint64_t kCheckCycles = 1;
-constexpr uint64_t kCfiCheckCycles = 3;
 constexpr uint64_t kSfiMaskCycles = 1;
 constexpr uint64_t kLibCallSetupCycles = 8;
 constexpr uint64_t kStackRegionBytes = 4 << 20;
@@ -100,7 +99,8 @@ class Machine {
       : module_(module),
         options_(options),
         cache_(options.cache),
-        store_(runtime::CreateSafeStore(options.store)) {}
+        store_(options.use_safe_store ? runtime::CreateSafeStore(options.store) : nullptr),
+        sealer_(runtime::DeriveSealKey(options.seed)) {}
 
   RunResult Run();
 
@@ -194,18 +194,23 @@ class Machine {
                       size_t first_arg_index);
 
   // --- safe store helpers ---------------------------------------------------
+  // A module whose instrumentation emits safe-store intrinsics must run with
+  // a scheme whose runtime requirements include the store.
   void StoreSet(uint64_t addr, const SafeEntry& entry) {
+    CPI_CHECK(store_ != nullptr);
     TouchList t;
     store_->Set(addr, entry, &t);
     ChargeStoreTouches(t);
   }
   SafeEntry StoreGet(uint64_t addr) {
+    CPI_CHECK(store_ != nullptr);
     TouchList t;
     SafeEntry e = store_->Get(addr, &t);
     ChargeStoreTouches(t);
     return e;
   }
   void StoreClear(uint64_t addr) {
+    CPI_CHECK(store_ != nullptr);
     TouchList t;
     store_->Clear(addr, &t);
     ChargeStoreTouches(t);
@@ -219,8 +224,17 @@ class Machine {
   void ChargeCheck() {
     ++result_.counters.checks;
     if (!options_.mpx_assist) {
-      Cycles(kCheckCycles);
+      Cycles(options_.costs.check);
     }
+  }
+  // One PAC-style sign or authenticate operation (PtrEnc).
+  void ChargeSeal() {
+    ++result_.counters.seal_ops;
+    Cycles(options_.costs.seal);
+  }
+  void ChargeAuth() {
+    ++result_.counters.seal_ops;
+    Cycles(options_.costs.auth);
   }
 
   // Temporal liveness (only enforced when the module was instrumented with
@@ -255,6 +269,7 @@ class Machine {
   ByteMemory safe_stacks_; // byte-addressable part of Ms
   CacheModel cache_;
   std::unique_ptr<runtime::SafePointerStore> store_;
+  runtime::PointerSealer sealer_;
   runtime::TemporalIdService temporal_;
   std::unordered_map<uint64_t, RegMeta> sb_shadow_;  // SoftBound baseline
 
@@ -497,7 +512,13 @@ bool Machine::PushFrame(const Function* callee, const std::vector<uint64_t>& arg
     sp_ -= 8;
     f.ret_slot = sp_;
     f.ret_slot_safe = false;
-    if (regular_.WriteU64(f.ret_slot, f.token) != MemFault::kNone) {
+    uint64_t slot_word = f.token;
+    if (module_.protection().ptrenc) {
+      // PAC-style prologue: sign the saved return token against its slot.
+      slot_word = sealer_.Seal(f.token, f.ret_slot);
+      ChargeSeal();
+    }
+    if (regular_.WriteU64(f.ret_slot, slot_word) != MemFault::kNone) {
       Crash("stack overflow: stack exhausted");
       return false;
     }
@@ -560,9 +581,9 @@ RunResult Machine::Run() {
   result_.counters.cache_hits = cache_.hits();
   result_.counters.cache_misses = cache_.misses();
   result_.memory.regular_bytes = regular_.mapped_bytes();
-  result_.memory.safe_store_bytes = store_->MemoryBytes();
+  result_.memory.safe_store_bytes = store_ != nullptr ? store_->MemoryBytes() : 0;
   result_.memory.safe_stack_bytes = safe_stacks_.mapped_bytes();
-  result_.memory.safe_store_entries = store_->EntryCount();
+  result_.memory.safe_store_entries = store_ != nullptr ? store_->EntryCount() : 0;
   return result_;
 }
 
@@ -948,6 +969,17 @@ void Machine::ExecRet(Frame& f, const Instruction* inst) {
   } else {
     regular_.ReadU64(f.ret_slot, &token);
     ChargeRegularAccess(f.ret_slot);
+    if (module_.protection().ptrenc) {
+      // PAC-style epilogue: authenticate before the token may steer control.
+      ChargeAuth();
+      uint64_t stripped = 0;
+      if (!sealer_.Auth(token, f.ret_slot, &stripped)) {
+        Abort(Violation::kPointerAuthFailure,
+              "ptrenc: saved return address failed authentication");
+        return;
+      }
+      token = stripped;
+    }
   }
 
   if (token == f.token) {
@@ -1010,7 +1042,9 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
   // SoftBound baseline: a checked libcall validates the whole touched range
   // against the pointer's bounds before a single byte moves.
   auto sb_range_check = [&](const RegMeta& meta, uint64_t addr, uint64_t n) {
-    if (!prot.softbound || !inst->checked()) {
+    if (!prot.softbound || !inst->checked() || n == 0) {
+      // Zero-length transfers access no memory; a one-past-the-end pointer
+      // (addr == upper, legal C) must not trip the exclusive-bound check.
       return true;
     }
     ChargeCheck();
@@ -1034,6 +1068,31 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
     }
     result_.counters.safe_store_ops += n / 8 + 1;
     Cycles((n / 8 + 1) * 2);
+  };
+  // PtrEnc checked variants re-seal moved pointers: the storage location is
+  // part of the MAC domain, so a sealed word copied to a new address must be
+  // authenticated against its old slot and signed for its new one. Words
+  // that do not authenticate (plain data, or a byte-shifted pointer) are
+  // left as-is — they simply never authenticate at their new home.
+  auto reseal_entries = [&](uint64_t dst, uint64_t src, uint64_t n) {
+    if (!prot.ptrenc || !inst->checked() || ((dst ^ src) & 7) != 0 || dst == src) {
+      return;
+    }
+    const RegMeta dm = meta_of(0);
+    for (uint64_t d = (dst + 7) & ~7ULL; d + 8 <= dst + n; d += 8) {
+      uint64_t word = 0;
+      if (!DataRead(d, 8, dm, &word)) {
+        return;
+      }
+      uint64_t value = 0;
+      ChargeAuth();
+      if (sealer_.Auth(word, src + (d - dst), &value)) {
+        ChargeSeal();
+        if (!DataWrite(d, 8, dm, sealer_.Seal(value, d))) {
+          return;
+        }
+      }
+    }
   };
   auto clear_entries = [&](uint64_t dst, uint64_t n) {
     if (!(prot.cpi || prot.cps) || !inst->checked()) {
@@ -1168,6 +1227,7 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
         return;
       }
       move_entries(dst, src, n, func == LibFunc::kMemmove);
+      reseal_entries(dst, src, n);
       SetReg(f, inst, dst, meta_of(0));
       break;
     }
@@ -1480,13 +1540,61 @@ void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
     case IntrinsicId::kCfiCheck: {
       const uint64_t value = Eval(f, inst->operand(0));
       ++result_.counters.checks;
-      Cycles(kCfiCheckCycles);
+      Cycles(options_.costs.cfi_check);
       const Function* target = FunctionAtAddress(value);
       if (target == nullptr || !target->address_taken()) {
         Abort(Violation::kCfiBadTarget, "CFI: indirect call target not in the valid set");
         return;
       }
       SetReg(f, inst, value, EvalMeta(f, inst->operand(0)));
+      break;
+    }
+
+    // --- PtrEnc: in-place pointer sealing --------------------------------
+    case IntrinsicId::kSealStore: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t value = Eval(f, inst->operand(1));
+      const RegMeta vm = EvalMeta(f, inst->operand(1));
+      uint64_t word = value;
+      if (vm.kind == EntryKind::kCode) {
+        word = sealer_.Seal(value, addr);
+        ChargeSeal();
+      }
+      if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), word)) {
+        return;
+      }
+      break;
+    }
+    case IntrinsicId::kSealLoad: {
+      const uint64_t addr = Eval(f, inst->operand(0));
+      uint64_t raw = 0;
+      if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &raw)) {
+        return;
+      }
+      // Authenticate unconditionally (the aut instruction runs either way).
+      // A valid MAC strips to a usable code pointer; anything else — plain
+      // data, or an attacker-corrupted slot — stays a regular value whose
+      // use as a call target aborts at kSealAssertCode.
+      ChargeAuth();
+      uint64_t value = 0;
+      if (sealer_.Auth(raw, addr, &value)) {
+        SetReg(f, inst, value, RegMeta::Code(value));
+      } else {
+        SetReg(f, inst, raw, RegMeta::None());
+      }
+      break;
+    }
+    case IntrinsicId::kSealAssertCode: {
+      const uint64_t value = Eval(f, inst->operand(0));
+      const RegMeta meta = EvalMeta(f, inst->operand(0));
+      ChargeAuth();
+      ++result_.counters.checks;
+      if (meta.kind != EntryKind::kCode) {
+        Abort(Violation::kPointerAuthFailure,
+              "ptrenc: indirect call through unauthenticated pointer");
+        return;
+      }
+      SetReg(f, inst, value, meta);
       break;
     }
   }

@@ -41,6 +41,17 @@ enum class RunStatus {
 
 const char* RunStatusName(RunStatus s);
 
+// Per-operation cycle costs of the active protection scheme. Each
+// core::ProtectionScheme fills in the entries its instrumentation exercises
+// (via ConfigureRun), so the cost model is scheme-supplied data rather than
+// machine-internal constants.
+struct OpCosts {
+  uint64_t check = 1;      // software bounds / code-pointer assert
+  uint64_t cfi_check = 3;  // coarse-CFI valid-set membership test
+  uint64_t seal = 4;       // PAC-style sign (PtrEnc store / call setup)
+  uint64_t auth = 4;       // PAC-style authenticate (PtrEnc load / return)
+};
+
 struct RunOptions {
   uint64_t max_steps = 200'000'000;
   runtime::StoreKind store = runtime::StoreKind::kArray;
@@ -48,6 +59,11 @@ struct RunOptions {
   // §4 "Future MPX-based implementation": hardware-assisted bounds checks
   // cost no extra cycles (metadata traffic remains).
   bool mpx_assist = false;
+  // Whether a safe pointer store backs the run (schemes that protect
+  // pointers in place — or not at all — set this false via ConfigureRun and
+  // no store is ever allocated).
+  bool use_safe_store = true;
+  OpCosts costs;
   uint64_t seed = 1;  // stack cookie value derivation
   std::vector<uint64_t> input_words;
   std::vector<uint8_t> input_bytes;
@@ -59,6 +75,7 @@ struct Counters {
   uint64_t cycles = 0;
   uint64_t mem_accesses = 0;
   uint64_t safe_store_ops = 0;
+  uint64_t seal_ops = 0;  // PtrEnc sign/authenticate operations
   uint64_t checks = 0;
   uint64_t calls = 0;
   uint64_t hijack_transfers = 0;  // control transfers via corrupted state

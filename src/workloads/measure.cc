@@ -50,6 +50,14 @@ std::vector<double> OverheadColumn(const std::vector<Measurement>& measurements,
   return column;
 }
 
+std::vector<core::Protection> OverheadProtections() {
+  std::vector<core::Protection> out;
+  for (const core::ProtectionScheme* s : core::SchemeRegistry::OverheadColumns()) {
+    out.push_back(s->id());
+  }
+  return out;
+}
+
 std::vector<double> OverheadColumnForLanguage(const std::vector<Measurement>& measurements,
                                               core::Protection protection,
                                               const std::string& language) {

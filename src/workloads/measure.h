@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/core/levee.h"
+#include "src/core/scheme.h"
 #include "src/workloads/workloads.h"
 
 namespace cpi::workloads {
@@ -40,6 +41,10 @@ std::vector<double> OverheadColumn(const std::vector<Measurement>& measurements,
 std::vector<double> OverheadColumnForLanguage(const std::vector<Measurement>& measurements,
                                               core::Protection protection,
                                               const std::string& language);
+
+// The registry schemes that report an overhead column (Table 1 / Fig. 4 /
+// Table 4 / §5.2 shape), as the protection list MeasureWorkloads consumes.
+std::vector<core::Protection> OverheadProtections();
 
 }  // namespace cpi::workloads
 

@@ -98,6 +98,7 @@ std::unique_ptr<ir::Module> BuildBenignKitchenSink() {
 const Protection kAllProtections[] = {
     Protection::kNone,      Protection::kSafeStack, Protection::kCps,
     Protection::kCpi,       Protection::kCfi,       Protection::kStackCookies,
+    Protection::kPtrEnc,
 };
 
 TEST(IntegrationTest, KitchenSinkRunsIdenticallyUnderEveryProtection) {

@@ -187,7 +187,8 @@ TEST_P(DifferentialTest, AllProtectionsPreserveBehaviour) {
 
   const core::Protection kProtections[] = {
       core::Protection::kSafeStack, core::Protection::kCps, core::Protection::kCpi,
-      core::Protection::kSoftBound, core::Protection::kCfi, core::Protection::kStackCookies};
+      core::Protection::kSoftBound, core::Protection::kCfi, core::Protection::kStackCookies,
+      core::Protection::kPtrEnc};
   for (core::Protection p : kProtections) {
     for (runtime::StoreKind store :
          {runtime::StoreKind::kArray, runtime::StoreKind::kHash}) {

@@ -7,6 +7,7 @@
 
 #include "src/runtime/metadata.h"
 #include "src/runtime/safe_store.h"
+#include "src/runtime/seal.h"
 #include "src/runtime/temporal.h"
 #include "src/support/rng.h"
 
@@ -97,6 +98,111 @@ TEST_P(StoreTest, MoveRangeHandlesOverlap) {
   store_->MoveRange(0x4008, 0x4000, 32);  // overlapping forward move
   for (int i = 0; i < 4; ++i) {
     EXPECT_EQ(store_->Get(0x4008 + 8 * i, nullptr).value, 0x1000u + static_cast<uint64_t>(i));
+  }
+}
+
+TEST_P(StoreTest, MoveRangeHandlesBackwardOverlap) {
+  for (int i = 0; i < 4; ++i) {
+    store_->Set(0x4008 + 8 * i, SafeEntry::Code(0x1000 + static_cast<uint64_t>(i)), nullptr);
+  }
+  store_->MoveRange(0x4000, 0x4008, 32);  // dst below src, ranges overlap
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(store_->Get(0x4000 + 8 * i, nullptr).value, 0x1000u + static_cast<uint64_t>(i));
+  }
+}
+
+TEST_P(StoreTest, CopyRangeHandlesForwardOverlap) {
+  for (int i = 0; i < 4; ++i) {
+    store_->Set(0x4000 + 8 * i, SafeEntry::Code(0x1000 + static_cast<uint64_t>(i)), nullptr);
+  }
+  // memcpy-style overlap, dst above src: every entry must still transfer
+  // (the snapshot happens before the destination range is cleared).
+  store_->CopyRange(0x4008, 0x4000, 32);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(store_->Get(0x4008 + 8 * i, nullptr).value, 0x1000u + static_cast<uint64_t>(i));
+  }
+  // The first source word lies outside the destination range and survives.
+  EXPECT_EQ(store_->Get(0x4000, nullptr).value, 0x1000u);
+}
+
+TEST_P(StoreTest, CopyRangeHandlesBackwardOverlap) {
+  for (int i = 0; i < 4; ++i) {
+    store_->Set(0x4008 + 8 * i, SafeEntry::Code(0x1000 + static_cast<uint64_t>(i)), nullptr);
+  }
+  store_->CopyRange(0x4000, 0x4008, 32);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(store_->Get(0x4000 + 8 * i, nullptr).value, 0x1000u + static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(store_->Get(0x4020, nullptr).value, 0x1003u);  // outside dst range
+}
+
+TEST_P(StoreTest, MisalignedMoveDropsEntries) {
+  // dst ^ src misaligned by a byte: pointers cannot survive the shift, and
+  // stale destination entries must be cleared rather than left dangling.
+  store_->Set(0x4000, SafeEntry::Code(0x1000), nullptr);
+  store_->Set(0x9000, SafeEntry::Code(0x2000), nullptr);
+  store_->MoveRange(0x9001, 0x4000, 16);
+  EXPECT_FALSE(store_->Get(0x9000, nullptr).IsPresent());
+  EXPECT_FALSE(store_->Get(0x9008, nullptr).IsPresent());
+  // The source itself is untouched by a misaligned transfer.
+  EXPECT_TRUE(store_->Get(0x4000, nullptr).IsPresent());
+}
+
+TEST_P(StoreTest, TombstoneSlotsAreReusedAfterClear) {
+  // Fill, clear everything (tombstones in the hash organisation), then
+  // re-insert the same keys: the cleared slots must be reused, so resident
+  // memory does not grow and the live count stays exact.
+  constexpr int kEntries = 600;
+  for (int i = 0; i < kEntries; ++i) {
+    store_->Set(0x4000 + 8 * static_cast<uint64_t>(i), SafeEntry::Code(0x1000), nullptr);
+  }
+  const uint64_t bytes_full = store_->MemoryBytes();
+  for (int i = 0; i < kEntries; ++i) {
+    store_->Clear(0x4000 + 8 * static_cast<uint64_t>(i), nullptr);
+  }
+  EXPECT_EQ(store_->EntryCount(), 0u);
+  for (int i = 0; i < kEntries; ++i) {
+    store_->Set(0x4000 + 8 * static_cast<uint64_t>(i),
+                SafeEntry::Code(0x2000 + static_cast<uint64_t>(i)), nullptr);
+  }
+  EXPECT_EQ(store_->EntryCount(), static_cast<uint64_t>(kEntries));
+  EXPECT_EQ(store_->MemoryBytes(), bytes_full);
+  for (int i = 0; i < kEntries; ++i) {
+    EXPECT_EQ(store_->Get(0x4000 + 8 * static_cast<uint64_t>(i), nullptr).value,
+              0x2000u + static_cast<uint64_t>(i));
+  }
+}
+
+TEST_P(StoreTest, RehashDropsTombstonesAndKeepsEntries) {
+  // Alternate insert/clear waves so the hash organisation accumulates
+  // tombstones, then push past the rehash threshold; every organisation
+  // must still agree with a reference map afterwards.
+  std::map<uint64_t, uint64_t> reference;
+  auto set = [&](uint64_t addr, uint64_t value) {
+    store_->Set(addr, SafeEntry::Code(value), nullptr);
+    reference[addr] = value;
+  };
+  auto clear = [&](uint64_t addr) {
+    store_->Clear(addr, nullptr);
+    reference.erase(addr);
+  };
+  for (int i = 0; i < 500; ++i) {
+    set(0x4000 + 8 * static_cast<uint64_t>(i), 0x1000 + static_cast<uint64_t>(i));
+  }
+  for (int i = 0; i < 500; i += 2) {
+    clear(0x4000 + 8 * static_cast<uint64_t>(i));
+  }
+  // Fresh keys drive (live + tombstones) past the load-factor limit, forcing
+  // a rehash that must drop tombstones but keep every live entry.
+  for (int i = 0; i < 500; ++i) {
+    set(0x80000 + 8 * static_cast<uint64_t>(i), 0x9000 + static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(store_->EntryCount(), reference.size());
+  for (const auto& [addr, value] : reference) {
+    EXPECT_EQ(store_->Get(addr, nullptr).value, value) << std::hex << addr;
+  }
+  for (int i = 0; i < 500; i += 2) {
+    EXPECT_FALSE(store_->Get(0x4000 + 8 * static_cast<uint64_t>(i), nullptr).IsPresent());
   }
 }
 
@@ -202,6 +308,66 @@ TEST(MetadataTest, RegMetaRoundTripsThroughEntries) {
   EXPECT_EQ(back.upper, m.upper);
   EXPECT_EQ(back.temporal_id, m.temporal_id);
   EXPECT_EQ(back.kind, m.kind);
+}
+
+TEST(MetadataTest, UpperBoundIsExclusiveInBothStructs) {
+  // One-past-the-end is out of bounds even for zero-size accesses, and the
+  // SafeEntry / RegMeta conventions agree.
+  SafeEntry e = SafeEntry::Data(0x1000, 0x1000, 0x1100, 1);
+  EXPECT_TRUE(e.InBounds(0x10ff, 1));
+  EXPECT_FALSE(e.InBounds(0x1100, 0));
+  EXPECT_FALSE(e.InBounds(0x1100, 1));
+  RegMeta m = RegMeta::FromEntry(e);
+  EXPECT_TRUE(m.InBounds(0x10ff, 1));
+  EXPECT_FALSE(m.InBounds(0x1100, 0));
+  EXPECT_FALSE(m.InBounds(0x1100, 1));
+  // Code entries span exactly their one entry address under the same rule.
+  EXPECT_EQ(SafeEntry::Code(0x2000).upper, 0x2001u);
+  EXPECT_EQ(RegMeta::Code(0x2000).upper, 0x2001u);
+}
+
+// --- pointer sealing --------------------------------------------------------
+
+TEST(SealerTest, SealAuthRoundTrip) {
+  PointerSealer sealer(DeriveSealKey(1));
+  const uint64_t value = 0x0000'1000'0040ULL;
+  const uint64_t loc = 0x7fff'e000ULL;
+  const uint64_t sealed = sealer.Seal(value, loc);
+  EXPECT_TRUE(PointerSealer::LooksSealed(sealed));
+  EXPECT_EQ(PointerSealer::Strip(sealed), value);
+  uint64_t out = 0;
+  ASSERT_TRUE(sealer.Auth(sealed, loc, &out));
+  EXPECT_EQ(out, value);
+}
+
+TEST(SealerTest, WrongLocationOrTamperedValueFailsAuthentication) {
+  PointerSealer sealer(DeriveSealKey(1));
+  const uint64_t value = 0x0000'1000'0040ULL;
+  const uint64_t loc = 0x7fff'e000ULL;
+  const uint64_t sealed = sealer.Seal(value, loc);
+  uint64_t out = 0;
+  EXPECT_FALSE(sealer.Auth(sealed, loc + 8, &out));  // replay elsewhere
+  EXPECT_FALSE(sealer.Auth(sealed ^ 1, loc, &out));  // low-bit tamper
+  EXPECT_FALSE(sealer.Auth(sealed ^ (1ULL << 60), loc, &out));  // tag tamper
+}
+
+TEST(SealerTest, RawValuesNeverAuthenticate) {
+  // A raw overwrite (any value with zero high bits — every legitimate VM
+  // address) must never pass authentication: the MAC is never zero.
+  PointerSealer sealer(DeriveSealKey(42));
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t raw = rng.NextU64() & PointerSealer::kValueMask;
+    uint64_t out = 0;
+    ASSERT_FALSE(sealer.Auth(raw, rng.NextU64(), &out));
+  }
+}
+
+TEST(SealerTest, KeysDisagree) {
+  PointerSealer a(DeriveSealKey(1));
+  PointerSealer b(DeriveSealKey(2));
+  uint64_t out = 0;
+  EXPECT_FALSE(b.Auth(a.Seal(0x1000, 0x4000), 0x4000, &out));
 }
 
 // --- temporal ids ---------------------------------------------------------------
