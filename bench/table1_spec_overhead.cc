@@ -8,7 +8,9 @@
 // workloads (8.4%); maxima on vtable-heavy workloads (omnetpp/xalancbmk).
 // PtrEnc sits between CPS and CPI: it touches the same code-pointer ops as
 // CPS but pays sign/authenticate latency instead of safe-region traffic.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/core/scheme.h"
@@ -41,8 +43,8 @@ double MeanReduce(const std::vector<double>& xs) { return cpi::Mean(xs); }
 double MedianReduce(const std::vector<double>& xs) { return cpi::Median(xs); }
 
 void PrintJson(const std::vector<Measurement>& ms,
-               const std::vector<const ProtectionScheme*>& schemes) {
-  std::printf("{\"bench\":\"table1_spec_overhead\",\"rows\":[");
+               const std::vector<const ProtectionScheme*>& schemes, double wall_ms) {
+  std::printf("{\"bench\":\"table1_spec_overhead\",\"wall_ms\":%.1f,\"rows\":[", wall_ms);
   for (size_t i = 0; i < ms.size(); ++i) {
     std::printf("%s{\"workload\":\"%s\",\"lang\":\"%s\",\"overhead_pct\":{",
                 i == 0 ? "" : ",", ms[i].workload.c_str(), ms[i].language.c_str());
@@ -58,15 +60,33 @@ void PrintJson(const std::vector<Measurement>& ms,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  bool json = false;
+  bool timing = false;
+  int scale = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--time") == 0) {
+      timing = true;
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atoi(argv[++i]);
+    }
+  }
+  if (scale < 1) {
+    std::fprintf(stderr, "invalid --scale; using 1\n");
+    scale = 1;
+  }
 
   const auto schemes = cpi::core::SchemeRegistry::OverheadColumns();
+  const auto start = std::chrono::steady_clock::now();
   const auto measurements = cpi::workloads::MeasureWorkloads(
-      cpi::workloads::SpecCpu2006(), cpi::workloads::OverheadProtections(),
-      /*scale=*/1);
+      cpi::workloads::SpecCpu2006(), cpi::workloads::OverheadProtections(), scale);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
 
   if (json) {
-    PrintJson(measurements, schemes);
+    PrintJson(measurements, schemes, wall_ms);
     return 0;
   }
 
@@ -98,5 +118,9 @@ int main(int argc, char** argv) {
               "C-only averages -0.4%% / 1.2%% / 2.9%%. Expect the same ordering and the\n"
               "C++ rows (omnetpp, xalancbmk, dealII) dominating CPI. PtrEnc has no paper\n"
               "counterpart; expect it near CPS (same instrumented ops, PAC-style costs).\n");
+  if (timing) {
+    std::printf("\nwall-clock: %.1f ms (build + instrument + run, all columns, scale %d)\n",
+                wall_ms, scale);
+  }
   return 0;
 }

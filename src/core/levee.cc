@@ -52,6 +52,7 @@ vm::RunResult Run(const ir::Module& module, const Config& config, const Input& i
   options.store = config.store;
   options.isolation = config.isolation;
   options.mpx_assist = config.mpx_assist;
+  options.reference_interpreter = config.reference_interpreter;
   options.max_steps = config.max_steps;
   options.seed = config.seed;
   options.input_words = input.words;

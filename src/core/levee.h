@@ -54,6 +54,10 @@ struct Config {
   bool char_star_heuristic = true;  // §3.2.1
   bool cast_dataflow = true;        // §3.2.1
   bool mpx_assist = false;          // §4 MPX projection: free bounds checks
+  // Use the tree-walking reference interpreter instead of the predecoded
+  // threaded-dispatch engine (bit-identical results; used as the oracle by
+  // the differential tests).
+  bool reference_interpreter = false;
   uint64_t max_steps = 200'000'000;
   uint64_t seed = 1;
 };

@@ -1,0 +1,218 @@
+#include "src/ir/clone.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace cpi::ir {
+
+namespace {
+
+class Cloner {
+ public:
+  explicit Cloner(const Module& src)
+      : src_(src), dst_(std::make_unique<Module>(src.name())) {}
+
+  std::unique_ptr<Module> Run() {
+    // Globals first (instructions reference them), in creation order so
+    // ordinals — and with them the program layout — are preserved.
+    for (const auto& g : src_.globals()) {
+      GlobalVariable* ng = dst_->CreateGlobal(g->name(), MapType(g->type()), g->is_const());
+      ng->set_initializer(g->initializer());
+      global_map_[g.get()] = ng;
+    }
+    // Function shells next, so calls can reference forward declarations.
+    for (const auto& f : src_.functions()) {
+      Function* nf = dst_->CreateFunction(
+          f->name(), static_cast<const FunctionType*>(MapType(f->type())));
+      func_map_[f.get()] = nf;
+      for (size_t i = 0; i < f->args().size(); ++i) {
+        value_map_[f->args()[i].get()] = nf->arg(i);
+      }
+      nf->set_needs_unsafe_frame(f->needs_unsafe_frame());
+      nf->set_has_stack_cookie(f->has_stack_cookie());
+      nf->set_address_taken(f->address_taken());
+    }
+    for (const auto& f : src_.functions()) {
+      CloneBody(*f, *func_map_.at(f.get()));
+    }
+    for (const Type* t : src_.annotated_sensitive()) {
+      dst_->AnnotateSensitive(MapType(t));
+    }
+    dst_->protection() = src_.protection();
+    // Same block order as the source, so renumbering reproduces the source's
+    // value ids (when the source has been renumbered at all).
+    for (const auto& f : dst_->functions()) {
+      f->RenumberValues();
+    }
+    return std::move(dst_);
+  }
+
+ private:
+  const Type* MapType(const Type* t) {
+    auto it = type_map_.find(t);
+    if (it != type_map_.end()) {
+      return it->second;
+    }
+    TypeContext& tc = dst_->types();
+    const Type* nt = nullptr;
+    switch (t->kind()) {
+      case TypeKind::kVoid:
+        nt = tc.VoidTy();
+        break;
+      case TypeKind::kFloat:
+        nt = tc.FloatTy();
+        break;
+      case TypeKind::kInt: {
+        const auto* i = static_cast<const IntType*>(t);
+        nt = i->is_char() ? tc.CharTy() : tc.IntTy(i->bits());
+        break;
+      }
+      case TypeKind::kPointer:
+        nt = tc.PointerTo(MapType(static_cast<const PointerType*>(t)->pointee()));
+        break;
+      case TypeKind::kFunction: {
+        const auto* ft = static_cast<const FunctionType*>(t);
+        std::vector<const Type*> params;
+        params.reserve(ft->params().size());
+        for (const Type* p : ft->params()) {
+          params.push_back(MapType(p));
+        }
+        nt = tc.FunctionTy(MapType(ft->return_type()), std::move(params));
+        break;
+      }
+      case TypeKind::kArray: {
+        const auto* at = static_cast<const ArrayType*>(t);
+        nt = tc.ArrayOf(MapType(at->element()), at->count());
+        break;
+      }
+      case TypeKind::kStruct: {
+        const auto* st = static_cast<const StructType*>(t);
+        StructType* ns = tc.GetOrCreateStruct(st->name());
+        type_map_[t] = ns;  // memoise before the fields: structs may self-reference
+        if (!st->is_opaque() && ns->is_opaque()) {
+          std::vector<StructField> fields;
+          fields.reserve(st->fields().size());
+          for (const StructField& fld : st->fields()) {
+            fields.push_back(StructField{fld.name, MapType(fld.type), 0});
+          }
+          ns->SetBody(std::move(fields));  // recomputes the same layout
+        }
+        return ns;
+      }
+    }
+    CPI_CHECK(nt != nullptr);
+    type_map_[t] = nt;
+    return nt;
+  }
+
+  Value* MapValue(const Value* v) {
+    auto it = value_map_.find(v);
+    if (it != value_map_.end()) {
+      return it->second;
+    }
+    Value* nv = nullptr;
+    switch (v->value_kind()) {
+      case ValueKind::kConstInt: {
+        const auto* c = static_cast<const ConstantInt*>(v);
+        nv = dst_->GetConstInt(MapType(c->type()), c->value());
+        break;
+      }
+      case ValueKind::kConstFloat:
+        nv = dst_->GetConstFloat(static_cast<const ConstantFloat*>(v)->value());
+        break;
+      case ValueKind::kConstNull:
+        nv = dst_->GetNull(MapType(v->type()));
+        break;
+      case ValueKind::kArgument:
+      case ValueKind::kInstruction:
+        // Registered up front (arguments) or during pass 1 (instructions);
+        // reaching here means an operand references a value outside the
+        // module.
+        CPI_UNREACHABLE();
+    }
+    value_map_[v] = nv;
+    return nv;
+  }
+
+  void CloneBody(const Function& sf, Function& df) {
+    std::unordered_map<const BasicBlock*, BasicBlock*> block_map;
+    for (const auto& bb : sf.blocks()) {
+      block_map[bb.get()] = df.CreateBlock(bb->name());
+    }
+    // Pass 1: create every instruction (operands may reference instructions
+    // from later blocks).
+    for (const auto& bb : sf.blocks()) {
+      for (const Instruction* inst : bb->instructions()) {
+        Instruction* ni = df.CreateInstruction(inst->op(), MapType(inst->type()));
+        if (inst->extra_type() != nullptr) {
+          ni->set_extra_type(MapType(inst->extra_type()));
+        }
+        switch (inst->op()) {
+          case Opcode::kAlloca:
+            ni->set_stack_kind(inst->stack_kind());
+            break;
+          case Opcode::kBinOp:
+            ni->set_binop(inst->binop());
+            break;
+          case Opcode::kCast:
+            ni->set_cast_kind(inst->cast_kind());
+            break;
+          case Opcode::kLibCall:
+            ni->set_lib_func(inst->lib_func());
+            break;
+          case Opcode::kIntrinsic:
+            ni->set_intrinsic(inst->intrinsic());
+            break;
+          case Opcode::kFieldAddr:
+            ni->set_field_index(inst->field_index());
+            break;
+          case Opcode::kCall:
+          case Opcode::kFuncAddr:
+            ni->set_callee(func_map_.at(inst->callee()));
+            break;
+          case Opcode::kGlobalAddr:
+            ni->set_global(global_map_.at(inst->global()));
+            break;
+          case Opcode::kBr:
+          case Opcode::kCondBr:
+            for (size_t i = 0; i < inst->successor_count(); ++i) {
+              ni->set_successor(i, block_map.at(inst->successor(i)));
+            }
+            break;
+          default:
+            break;
+        }
+        ni->set_checked(inst->checked());
+        ni->set_name(inst->name());
+        value_map_[inst] = ni;
+        block_map.at(bb.get())->Append(ni);
+      }
+    }
+    // Pass 2: operands, now that every instruction has a counterpart.
+    for (const auto& bb : sf.blocks()) {
+      for (const Instruction* inst : bb->instructions()) {
+        auto* ni = static_cast<Instruction*>(value_map_.at(inst));
+        for (const Value* operand : inst->operands()) {
+          ni->AddOperand(MapValue(operand));
+        }
+      }
+    }
+  }
+
+  const Module& src_;
+  std::unique_ptr<Module> dst_;
+  std::unordered_map<const Type*, const Type*> type_map_;
+  std::unordered_map<const Function*, Function*> func_map_;
+  std::unordered_map<const GlobalVariable*, GlobalVariable*> global_map_;
+  std::unordered_map<const Value*, Value*> value_map_;
+};
+
+}  // namespace
+
+std::unique_ptr<Module> CloneModule(const Module& module) {
+  return Cloner(module).Run();
+}
+
+}  // namespace cpi::ir

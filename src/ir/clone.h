@@ -1,0 +1,23 @@
+// Deep module cloning.
+//
+// Instrumentation mutates modules in place, so measuring N protection
+// schemes used to mean building each workload module N+1 times from
+// scratch. CloneModule lets the harness build once and instrument clones:
+// the clone owns its own TypeContext, constants, functions and globals, with
+// every cross-reference remapped. Creation order (and therefore ordinals,
+// value numbering, program layout and simulated behaviour) is preserved
+// exactly — a clone instruments and runs bit-identically to a fresh build.
+#ifndef CPI_SRC_IR_CLONE_H_
+#define CPI_SRC_IR_CLONE_H_
+
+#include <memory>
+
+#include "src/ir/module.h"
+
+namespace cpi::ir {
+
+std::unique_ptr<Module> CloneModule(const Module& module);
+
+}  // namespace cpi::ir
+
+#endif  // CPI_SRC_IR_CLONE_H_

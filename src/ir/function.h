@@ -49,6 +49,12 @@ class Function {
   uint32_t RenumberValues();
   uint32_t register_count() const { return register_count_; }
 
+  // Position of this function in its module's function list; assigned by
+  // Module::CreateFunction. The VM derives code addresses and indexes its
+  // decoded-function cache from this, so lookups are flat-array reads.
+  uint32_t ordinal() const { return ordinal_; }
+  void set_ordinal(uint32_t o) { ordinal_ = o; }
+
   // --- attributes written by passes --------------------------------------
 
   // §3.2.4: does this function own objects that must live on the unsafe
@@ -76,6 +82,7 @@ class Function {
   std::vector<std::unique_ptr<BasicBlock>> blocks_;
   std::deque<std::unique_ptr<Instruction>> instruction_arena_;
   uint32_t register_count_ = 0;
+  uint32_t ordinal_ = 0;
   bool needs_unsafe_frame_ = false;
   bool has_stack_cookie_ = false;
   bool address_taken_ = false;

@@ -5,6 +5,7 @@ namespace cpi::ir {
 Function* Module::CreateFunction(const std::string& name, const FunctionType* type) {
   CPI_CHECK(FindFunction(name) == nullptr);
   functions_.push_back(std::make_unique<Function>(name, type, this));
+  functions_.back()->set_ordinal(static_cast<uint32_t>(functions_.size() - 1));
   return functions_.back().get();
 }
 
@@ -20,6 +21,7 @@ Function* Module::FindFunction(const std::string& name) const {
 GlobalVariable* Module::CreateGlobal(const std::string& name, const Type* type, bool is_const) {
   CPI_CHECK(FindGlobal(name) == nullptr);
   globals_.push_back(std::make_unique<GlobalVariable>(name, type, is_const));
+  globals_.back()->set_ordinal(static_cast<uint32_t>(globals_.size() - 1));
   return globals_.back().get();
 }
 

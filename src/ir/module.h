@@ -35,11 +35,17 @@ class GlobalVariable {
   const std::vector<uint8_t>& initializer() const { return initializer_; }
   void set_initializer(std::vector<uint8_t> bytes) { initializer_ = std::move(bytes); }
 
+  // Position in the module's global list; assigned by Module::CreateGlobal.
+  // Lets the VM's program layout be a flat vector instead of a map.
+  uint32_t ordinal() const { return ordinal_; }
+  void set_ordinal(uint32_t o) { ordinal_ = o; }
+
  private:
   std::string name_;
   const Type* type_;
   bool is_const_;
   std::vector<uint8_t> initializer_;
+  uint32_t ordinal_ = 0;
 };
 
 // Which protection mechanisms the instrumentation configured on this module.

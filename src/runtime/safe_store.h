@@ -61,9 +61,16 @@ class SafePointerStore {
   virtual void Clear(uint64_t addr, TouchList* touched) = 0;
 
   // Bulk helpers for the checked memory-transfer variants (§3.2.2).
+  // CopyRange interleaves each destination slot's Clear with its Set so the
+  // pair shares one probe-start hash (the hash organisation memoises it).
   void ClearRange(uint64_t addr, uint64_t size);
   void CopyRange(uint64_t dst, uint64_t src, uint64_t size);
   void MoveRange(uint64_t dst, uint64_t src, uint64_t size);
+
+  // Pre-sizes the organisation for `entries` live entries. Benches with a
+  // known working set call this to skip rehash churn; it is never called on
+  // the measured paths (growing up front changes resident-memory numbers).
+  virtual void Reserve(uint64_t entries) { (void)entries; }
 
   // Resident safe-region memory in bytes (the §5.2 memory-overhead metric).
   virtual uint64_t MemoryBytes() const = 0;

@@ -1,0 +1,51 @@
+// Width-masking and bit-punning helpers shared by the reference interpreter
+// and the predecoder. Keeping them in one place guarantees that a constant
+// masked at decode time equals the same constant masked by Machine::Eval at
+// run time — part of the bit-identical-counters invariant.
+#ifndef CPI_SRC_VM_BITS_H_
+#define CPI_SRC_VM_BITS_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/ir/type.h"
+
+namespace cpi::vm {
+
+inline uint64_t MaskToWidth(uint64_t v, int bits) {
+  if (bits >= 64) {
+    return v;
+  }
+  return v & ((1ULL << bits) - 1);
+}
+
+inline int64_t SignExtend(uint64_t v, int bits) {
+  if (bits >= 64) {
+    return static_cast<int64_t>(v);
+  }
+  const uint64_t sign = 1ULL << (bits - 1);
+  return static_cast<int64_t>((v ^ sign) - sign);
+}
+
+inline int TypeBits(const ir::Type* t) {
+  if (t->IsInt()) {
+    return static_cast<const ir::IntType*>(t)->bits();
+  }
+  return 64;  // pointers and floats
+}
+
+inline double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, 8);
+  return d;
+}
+
+inline uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  return bits;
+}
+
+}  // namespace cpi::vm
+
+#endif  // CPI_SRC_VM_BITS_H_

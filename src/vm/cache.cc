@@ -4,24 +4,42 @@
 
 namespace cpi::vm {
 
+namespace {
+
+bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+uint64_t Log2(uint64_t v) {
+  uint64_t shift = 0;
+  while ((1ULL << shift) < v) {
+    ++shift;
+  }
+  return shift;
+}
+
+}  // namespace
+
 CacheModel::CacheModel() : CacheModel(Config{}) {}
 
 CacheModel::CacheModel(const Config& config) : config_(config) {
   CPI_CHECK(config_.line_bytes > 0 && config_.ways > 0);
+  CPI_CHECK(IsPowerOfTwo(config_.line_bytes));
   num_sets_ = config_.size_bytes / (config_.line_bytes * config_.ways);
-  CPI_CHECK(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0);
+  CPI_CHECK(num_sets_ > 0 && IsPowerOfTwo(num_sets_));
+  line_shift_ = Log2(config_.line_bytes);
+  set_mask_ = num_sets_ - 1;
   lines_.assign(num_sets_ * config_.ways, Line{});
+  set_tick_.assign(num_sets_, 0);
 }
 
 uint64_t CacheModel::Access(uint64_t addr) {
-  ++tick_;
-  const uint64_t line_addr = addr / config_.line_bytes;
-  const uint64_t set = line_addr & (num_sets_ - 1);
+  const uint64_t line_addr = addr >> line_shift_;
+  const uint64_t set = line_addr & set_mask_;
+  const uint64_t tick = ++set_tick_[set];
   Line* set_lines = &lines_[set * config_.ways];
 
   for (uint64_t w = 0; w < config_.ways; ++w) {
     if (set_lines[w].valid && set_lines[w].tag == line_addr) {
-      set_lines[w].lru = tick_;
+      set_lines[w].lru = tick;
       ++hits_;
       return config_.hit_cycles;
     }
@@ -38,15 +56,18 @@ uint64_t CacheModel::Access(uint64_t addr) {
       break;
     }
   }
-  set_lines[victim] = Line{line_addr, tick_, true};
+  set_lines[victim] = Line{line_addr, tick, true};
   ++misses_;
   return config_.miss_cycles;
 }
 
 void CacheModel::Reset() {
-  tick_ = hits_ = misses_ = 0;
+  hits_ = misses_ = 0;
   for (Line& l : lines_) {
     l = Line{};
+  }
+  for (uint64_t& t : set_tick_) {
+    t = 0;
   }
 }
 

@@ -42,10 +42,16 @@ class CacheModel {
 
   Config config_;
   uint64_t num_sets_;
-  uint64_t tick_ = 0;
+  // Precomputed at construction (line size and set count are required to be
+  // powers of two): every Access is then shift+mask, no division.
+  uint64_t line_shift_;
+  uint64_t set_mask_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
-  std::vector<Line> lines_;  // num_sets_ * ways
+  std::vector<Line> lines_;      // num_sets_ * ways
+  // One LRU clock per set instead of a global tick: recency ordering within
+  // a set (all that LRU replacement consults) is unchanged.
+  std::vector<uint64_t> set_tick_;
 };
 
 }  // namespace cpi::vm

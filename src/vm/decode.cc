@@ -1,0 +1,233 @@
+// IR -> micro-op translation. One DecodedOp per IR instruction; every
+// payload a handler needs at run time is resolved here, once per function.
+#include "src/vm/decode.h"
+
+#include <unordered_map>
+
+#include "src/support/check.h"
+#include "src/vm/bits.h"
+
+namespace cpi::vm {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::StackKind;
+using ir::Type;
+using ir::Value;
+using ir::ValueKind;
+
+OperandSlot SlotFor(const Value* v) {
+  OperandSlot s;
+  switch (v->value_kind()) {
+    case ValueKind::kConstInt: {
+      const auto* c = static_cast<const ir::ConstantInt*>(v);
+      s.imm = MaskToWidth(c->value(), TypeBits(c->type()));
+      return s;
+    }
+    case ValueKind::kConstFloat:
+      s.imm = DoubleToBits(static_cast<const ir::ConstantFloat*>(v)->value());
+      return s;
+    case ValueKind::kConstNull:
+      s.imm = 0;
+      return s;
+    case ValueKind::kArgument:
+    case ValueKind::kInstruction:
+      CPI_CHECK(v->value_id() != ir::kInvalidValueId);
+      s.is_imm = false;
+      s.reg = v->value_id();
+      return s;
+  }
+  CPI_UNREACHABLE();
+}
+
+std::unique_ptr<DecodedFunction> DecodeFunction(const Function& fn,
+                                                const ir::Module& module,
+                                                const ProgramLayout& layout) {
+  auto out = std::make_unique<DecodedFunction>();
+  out->func = &fn;
+
+  // Pass 1: op index of every block once blocks are laid out back to back.
+  std::unordered_map<const BasicBlock*, uint32_t> block_pc;
+  uint32_t pc = 0;
+  for (const auto& bb : fn.blocks()) {
+    block_pc[bb.get()] = pc;
+    pc += static_cast<uint32_t>(bb->instructions().size());
+  }
+  out->ops.reserve(pc);
+
+  const bool safe_stack = module.protection().safe_stack;
+
+  // Pass 2: emit.
+  for (const auto& bb : fn.blocks()) {
+    for (const Instruction* inst : bb->instructions()) {
+      DecodedOp op;
+      op.inst = inst;
+      op.dest = inst->value_id();
+      const auto& operands = inst->operands();
+      switch (inst->op()) {
+        case Opcode::kAlloca: {
+          op.op = MicroOp::kAlloca;
+          const Type* t = inst->extra_type();
+          op.imm = std::max<uint64_t>(t->SizeInBytes(), 1);
+          op.imm2 = std::max<uint64_t>(ir::AlignmentOf(t), 1) - 1;  // align mask
+          op.flag = safe_stack && inst->stack_kind() != StackKind::kUnsafe;
+          break;
+        }
+        case Opcode::kLoad:
+          op.op = MicroOp::kLoad;
+          op.a = SlotFor(operands[0]);
+          op.imm = inst->type()->SizeInBytes();
+          break;
+        case Opcode::kStore: {
+          op.op = MicroOp::kStore;
+          op.a = SlotFor(operands[0]);
+          op.b = SlotFor(operands[1]);
+          const Type* pointee =
+              static_cast<const ir::PointerType*>(operands[1]->type())->pointee();
+          op.imm = pointee->IsVoid() ? 8 : pointee->SizeInBytes();
+          break;
+        }
+        case Opcode::kFieldAddr: {
+          op.op = MicroOp::kFieldAddr;
+          op.a = SlotFor(operands[0]);
+          const auto* st = static_cast<const ir::StructType*>(
+              static_cast<const ir::PointerType*>(operands[0]->type())->pointee());
+          const ir::StructField& field = st->fields()[inst->field_index()];
+          op.imm = field.offset;
+          op.imm2 = field.type->SizeInBytes();
+          break;
+        }
+        case Opcode::kIndexAddr: {
+          op.op = MicroOp::kIndexAddr;
+          op.a = SlotFor(operands[0]);
+          op.b = SlotFor(operands[1]);
+          op.bits = static_cast<uint8_t>(TypeBits(operands[1]->type()));
+          const Type* pointee =
+              static_cast<const ir::PointerType*>(operands[0]->type())->pointee();
+          op.imm = pointee->IsArray()
+                       ? static_cast<const ir::ArrayType*>(pointee)->element()->SizeInBytes()
+                       : pointee->SizeInBytes();
+          break;
+        }
+        case Opcode::kBinOp:
+          op.op = MicroOp::kBinOp;
+          op.aux = static_cast<uint8_t>(inst->binop());
+          op.a = SlotFor(operands[0]);
+          op.b = SlotFor(operands[1]);
+          op.bits = static_cast<uint8_t>(TypeBits(operands[0]->type()));
+          op.bits2 = static_cast<uint8_t>(TypeBits(inst->type()));
+          break;
+        case Opcode::kCast:
+          op.op = MicroOp::kCast;
+          op.aux = static_cast<uint8_t>(inst->cast_kind());
+          op.a = SlotFor(operands[0]);
+          op.bits = static_cast<uint8_t>(TypeBits(operands[0]->type()));
+          op.bits2 = static_cast<uint8_t>(TypeBits(inst->type()));
+          break;
+        case Opcode::kSelect:
+          op.op = MicroOp::kSelect;
+          op.a = SlotFor(operands[0]);
+          op.b = SlotFor(operands[1]);
+          op.c = SlotFor(operands[2]);
+          break;
+        case Opcode::kCall:
+          op.op = MicroOp::kCall;
+          op.callee = inst->callee();
+          op.arg_begin = static_cast<uint32_t>(out->args.size());
+          op.arg_count = static_cast<uint32_t>(operands.size());
+          for (const Value* v : operands) {
+            out->args.push_back(SlotFor(v));
+          }
+          break;
+        case Opcode::kIndirectCall:
+          op.op = MicroOp::kIndirectCall;
+          op.a = SlotFor(operands[0]);
+          op.arg_begin = static_cast<uint32_t>(out->args.size());
+          op.arg_count = static_cast<uint32_t>(operands.size() - 1);
+          for (size_t i = 1; i < operands.size(); ++i) {
+            out->args.push_back(SlotFor(operands[i]));
+          }
+          break;
+        case Opcode::kLibCall:
+          op.op = MicroOp::kLibCall;
+          op.aux = static_cast<uint8_t>(inst->lib_func());
+          op.flag = inst->checked();
+          CPI_CHECK(operands.size() <= 3);
+          if (operands.size() > 0) op.a = SlotFor(operands[0]);
+          if (operands.size() > 1) op.b = SlotFor(operands[1]);
+          if (operands.size() > 2) op.c = SlotFor(operands[2]);
+          break;
+        case Opcode::kMalloc:
+          op.op = MicroOp::kMalloc;
+          op.a = SlotFor(operands[0]);
+          break;
+        case Opcode::kFree:
+          op.op = MicroOp::kFree;
+          op.a = SlotFor(operands[0]);
+          break;
+        case Opcode::kFuncAddr:
+          op.op = MicroOp::kFuncAddr;
+          op.imm = layout.CodeAddress(inst->callee());
+          break;
+        case Opcode::kGlobalAddr:
+          op.op = MicroOp::kGlobalAddr;
+          op.imm = layout.GlobalAddress(inst->global());
+          op.imm2 = inst->global()->type()->SizeInBytes();
+          break;
+        case Opcode::kBr:
+          op.op = MicroOp::kBr;
+          op.target = block_pc.at(inst->successor(0));
+          break;
+        case Opcode::kCondBr:
+          op.op = MicroOp::kCondBr;
+          op.a = SlotFor(operands[0]);
+          op.target = block_pc.at(inst->successor(0));
+          op.target2 = block_pc.at(inst->successor(1));
+          break;
+        case Opcode::kRet:
+          op.op = MicroOp::kRet;
+          op.flag = !operands.empty();
+          if (op.flag) {
+            op.a = SlotFor(operands[0]);
+          }
+          break;
+        case Opcode::kInput:
+          op.op = MicroOp::kInput;
+          break;
+        case Opcode::kOutput:
+          op.op = MicroOp::kOutput;
+          op.a = SlotFor(operands[0]);
+          break;
+        case Opcode::kIntrinsic:
+          op.op = MicroOp::kIntrinsic;
+          op.aux = static_cast<uint8_t>(inst->intrinsic());
+          CPI_CHECK(operands.size() <= 3);
+          if (operands.size() > 0) op.a = SlotFor(operands[0]);
+          if (operands.size() > 1) op.b = SlotFor(operands[1]);
+          if (operands.size() > 2) op.c = SlotFor(operands[2]);
+          break;
+      }
+      CPI_CHECK(op.op != MicroOp::kCount);
+      out->ops.push_back(op);
+    }
+  }
+  CPI_CHECK(out->ops.size() == pc);
+  return out;
+}
+
+}  // namespace
+
+DecodedModule::DecodedModule(const ir::Module& module, const ProgramLayout& layout) {
+  functions_.reserve(module.functions().size());
+  for (size_t i = 0; i < module.functions().size(); ++i) {
+    const Function* fn = module.functions()[i].get();
+    CPI_CHECK(fn->ordinal() == i);
+    functions_.push_back(DecodeFunction(*fn, module, layout));
+  }
+}
+
+}  // namespace cpi::vm

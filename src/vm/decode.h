@@ -1,0 +1,130 @@
+// Predecoded execution format: the flat micro-op arrays the VM's
+// threaded-dispatch engine executes.
+//
+// The reference interpreter re-switches on ir::Opcode and re-resolves each
+// operand's ir::ValueKind for every executed instruction, and chases
+// Instruction/Value/Type object graphs for sizes, offsets and widths that
+// never change. Decoding performs all of that exactly once per function:
+//
+//   * every operand collapses to an OperandSlot — a register index or a
+//     fully-masked immediate (constants are masked to their type width at
+//     decode time, the way Machine::Eval masks them at run time);
+//   * type-derived quantities (load/store sizes, field offsets, element
+//     sizes, operand bit widths, alloca sizes/alignments) become payload
+//     fields of the DecodedOp;
+//   * function and global addresses are baked in from the ProgramLayout;
+//   * basic blocks flatten into one contiguous op array per function, with
+//     branch targets resolved to op indices;
+//   * instrumentation intrinsics decode like any other op, so instrumented
+//     and vanilla runs share the same dispatch loop.
+//
+// Decoding is a pure representation change: one DecodedOp per IR
+// instruction, no fusion, no reordering — which is what lets the decoded
+// engine reproduce the reference interpreter's simulated Counters bit for
+// bit (see tests/decode_test.cc).
+#ifndef CPI_SRC_VM_DECODE_H_
+#define CPI_SRC_VM_DECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/vm/machine.h"
+
+namespace cpi::vm {
+
+// A pre-resolved operand: either an immediate (constants, already masked to
+// their type width) or an index into the frame's register file.
+struct OperandSlot {
+  uint64_t imm = 0;
+  uint32_t reg = 0;
+  bool is_imm = true;
+};
+
+// One handler per micro-op; the dispatch table in machine.cc is indexed by
+// this. Values mirror ir::Opcode one-to-one — the win is not a different
+// instruction set but the pre-resolved operands and payloads.
+enum class MicroOp : uint8_t {
+  kAlloca,
+  kLoad,
+  kStore,
+  kFieldAddr,
+  kIndexAddr,
+  kBinOp,
+  kCast,
+  kSelect,
+  kCall,
+  kIndirectCall,
+  kLibCall,
+  kMalloc,
+  kFree,
+  kFuncAddr,
+  kGlobalAddr,
+  kBr,
+  kCondBr,
+  kRet,
+  kInput,
+  kOutput,
+  kIntrinsic,
+  kCount,
+};
+
+struct DecodedOp {
+  MicroOp op = MicroOp::kCount;
+  // Sub-operation: BinOp / CastKind / LibFunc / IntrinsicId, as applicable.
+  uint8_t aux = 0;
+  // Operand bit widths: `bits` is the binop LHS / cast source / index width,
+  // `bits2` the result width the value is masked to.
+  uint8_t bits = 64;
+  uint8_t bits2 = 64;
+  // Result register (ir::kInvalidValueId for void results).
+  uint32_t dest = 0xffffffffu;
+  // Up to three pre-resolved operands (every opcode except calls has <= 3).
+  OperandSlot a, b, c;
+  // Opcode-specific payload (sizes, offsets, baked addresses); see decode.cc.
+  uint64_t imm = 0;
+  uint64_t imm2 = 0;
+  // Branch targets as op indices (kCondBr: taken / fall-through).
+  uint32_t target = 0;
+  uint32_t target2 = 0;
+  // Call arguments: a [arg_begin, arg_begin+arg_count) range of pre-resolved
+  // slots in DecodedFunction::args.
+  uint32_t arg_begin = 0;
+  uint32_t arg_count = 0;
+  // kAlloca: safe-stack placement; kLibCall: checked variant; kRet: has a
+  // return value.
+  bool flag = false;
+  // The IR instruction this op was decoded from. Calls keep their identity
+  // here (Frame::pending_call and return-value plumbing), and the shared
+  // libcall/intrinsic bodies use it for nothing else.
+  const ir::Instruction* inst = nullptr;
+  const ir::Function* callee = nullptr;
+};
+
+struct DecodedFunction {
+  const ir::Function* func = nullptr;
+  std::vector<DecodedOp> ops;      // blocks flattened in block order
+  std::vector<OperandSlot> args;   // call-argument slot pool
+};
+
+// All functions of a module, decoded once per Execute call and cached for
+// its lifetime. Indexed by ir::Function::ordinal(), which also underlies
+// code addresses — so an indirect-call target address resolves to its
+// decoded body with pure arithmetic.
+class DecodedModule {
+ public:
+  DecodedModule(const ir::Module& module, const ProgramLayout& layout);
+
+  const DecodedFunction& ForFunction(const ir::Function* f) const {
+    CPI_CHECK(f->ordinal() < functions_.size());
+    return *functions_[f->ordinal()];
+  }
+
+ private:
+  std::vector<std::unique_ptr<DecodedFunction>> functions_;
+};
+
+}  // namespace cpi::vm
+
+#endif  // CPI_SRC_VM_DECODE_H_

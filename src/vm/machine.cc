@@ -6,6 +6,8 @@
 
 #include "src/runtime/seal.h"
 #include "src/support/rng.h"
+#include "src/vm/bits.h"
+#include "src/vm/decode.h"
 #include "src/vm/layout.h"
 
 namespace cpi::vm {
@@ -53,39 +55,8 @@ constexpr uint64_t kStackRegionBytes = 4 << 20;
 constexpr uint64_t kSbShadowBase = 0x5000'0000'0000ULL;
 constexpr uint64_t kMaxOutputWords = 1u << 22;
 
-uint64_t MaskToWidth(uint64_t v, int bits) {
-  if (bits >= 64) {
-    return v;
-  }
-  return v & ((1ULL << bits) - 1);
-}
-
-int64_t SignExtend(uint64_t v, int bits) {
-  if (bits >= 64) {
-    return static_cast<int64_t>(v);
-  }
-  const uint64_t sign = 1ULL << (bits - 1);
-  return static_cast<int64_t>((v ^ sign) - sign);
-}
-
-int TypeBits(const Type* t) {
-  if (t->IsInt()) {
-    return static_cast<const ir::IntType*>(t)->bits();
-  }
-  return 64;  // pointers and floats
-}
-
-double BitsToDouble(uint64_t bits) {
-  double d;
-  std::memcpy(&d, &bits, 8);
-  return d;
-}
-
-uint64_t DoubleToBits(double d) {
-  uint64_t bits;
-  std::memcpy(&bits, &d, 8);
-  return bits;
-}
+// MaskToWidth / SignExtend / TypeBits / BitsToDouble / DoubleToBits live in
+// src/vm/bits.h, shared with the predecoder.
 
 struct HeapBlock {
   uint64_t size = 0;
@@ -110,6 +81,9 @@ class Machine {
     std::vector<uint64_t> regs;
     std::vector<RegMeta> meta;
     const BasicBlock* bb = nullptr;
+    // Decoded engine: the function's micro-op array. `ip` then indexes into
+    // it (the reference interpreter indexes bb->instructions() instead).
+    const DecodedFunction* dfunc = nullptr;
     size_t ip = 0;
     const Instruction* pending_call = nullptr;
     uint64_t saved_sp = 0;
@@ -157,10 +131,42 @@ class Machine {
   // --- value plumbing ------------------------------------------------------
   uint64_t Eval(const Frame& f, const Value* v) const;
   RegMeta EvalMeta(const Frame& f, const Value* v) const;
-  void SetReg(Frame& f, const Instruction* inst, uint64_t value, const RegMeta& meta) {
-    f.regs[inst->value_id()] = value;
-    f.meta[inst->value_id()] = meta;
+  void SetRegId(Frame& f, uint32_t id, uint64_t value, const RegMeta& meta) {
+    f.regs[id] = value;
+    f.meta[id] = meta;
   }
+  void SetReg(Frame& f, const Instruction* inst, uint64_t value, const RegMeta& meta) {
+    SetRegId(f, inst->value_id(), value, meta);
+  }
+  // Decoded-operand plumbing: constants were masked at decode time.
+  static uint64_t SlotVal(const Frame& f, const OperandSlot& s) {
+    return s.is_imm ? s.imm : f.regs[s.reg];
+  }
+  static RegMeta SlotMeta(const Frame& f, const OperandSlot& s) {
+    return s.is_imm ? RegMeta::None() : f.meta[s.reg];
+  }
+
+  // Operand accessors bridging the two engines into the shared semantic
+  // bodies (DoLibCall / DoIntrinsic / DoRet): InstOps re-evaluates IR
+  // operands the way the reference interpreter always has; SlotOps reads
+  // pre-resolved slots.
+  struct InstOps {
+    Machine& m;
+    Frame& f;
+    const Instruction* inst;
+    uint64_t value(size_t i) const { return m.Eval(f, inst->operand(i)); }
+    RegMeta meta(size_t i) const { return m.EvalMeta(f, inst->operand(i)); }
+    void set(uint64_t v, const RegMeta& mt) const { m.SetReg(f, inst, v, mt); }
+  };
+  struct SlotOps {
+    Machine& m;
+    Frame& f;
+    const DecodedOp& op;
+    const OperandSlot& slot(size_t i) const { return i == 0 ? op.a : i == 1 ? op.b : op.c; }
+    uint64_t value(size_t i) const { return SlotVal(f, slot(i)); }
+    RegMeta meta(size_t i) const { return SlotMeta(f, slot(i)); }
+    void set(uint64_t v, const RegMeta& mt) const { m.SetRegId(f, op.dest, v, mt); }
+  };
 
   // --- routed memory access ------------------------------------------------
   // Returns the backing memory for `addr`, enforcing safe-region isolation:
@@ -192,6 +198,51 @@ class Machine {
   void ExecRet(Frame& f, const Instruction* inst);
   void ExecCallCommon(Frame& f, const Instruction* inst, const Function* callee,
                       size_t first_arg_index);
+
+  // Semantic bodies shared verbatim by both engines, parameterised over the
+  // operand source (InstOps / SlotOps). Each advances f.ip exactly like the
+  // reference switch arms did.
+  template <typename Ops>
+  void DoLibCall(Frame& f, LibFunc func, bool checked, const Ops& ops);
+  template <typename Ops>
+  void DoIntrinsic(Frame& f, IntrinsicId id, const Ops& ops);
+  template <typename Ops>
+  void DoRet(Frame& f, bool has_value, const Ops& ops);
+  template <typename Ops>
+  void DoBinOp(Frame& f, BinOp bop, int bits, int result_bits, const Ops& ops);
+  template <typename Ops>
+  void DoCast(Frame& f, CastKind kind, int src_bits, int dst_bits, const Ops& ops);
+  void DoMalloc(Frame& f, uint64_t requested, uint32_t dest);
+  void DoFree(Frame& f, uint64_t addr);
+  // Argument marshalling + frame push shared by direct and indirect decoded
+  // calls.
+  void DoCallSlots(Frame& f, const DecodedOp& op, const Function* callee);
+
+  // --- decoded engine -------------------------------------------------------
+  using Handler = void (*)(Machine&, Frame&, const DecodedOp&);
+  static const Handler kDispatch[static_cast<size_t>(MicroOp::kCount)];
+  void RunDecodedLoop();
+  static void OpAlloca(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpLoad(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpStore(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpFieldAddr(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpIndexAddr(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpBinOp(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpCast(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpSelect(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpCall(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpIndirectCall(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpLibCall(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpMalloc(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpFree(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpFuncAddr(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpGlobalAddr(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpBr(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpCondBr(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpRet(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpInput(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpOutput(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpIntrinsic(Machine& m, Frame& f, const DecodedOp& op);
 
   // --- safe store helpers ---------------------------------------------------
   // A module whose instrumentation emits safe-store intrinsics must run with
@@ -253,11 +304,7 @@ class Machine {
     }
     return module_.functions()[index].get();
   }
-  uint64_t CodeAddressOf(const Function* f) const {
-    auto it = code_addr_.find(f);
-    CPI_CHECK(it != code_addr_.end());
-    return it->second;
-  }
+  uint64_t CodeAddressOf(const Function* f) const { return layout_.CodeAddress(f); }
 
   // --- state ----------------------------------------------------------------
   const ir::Module& module_;
@@ -274,8 +321,8 @@ class Machine {
   std::unordered_map<uint64_t, RegMeta> sb_shadow_;  // SoftBound baseline
 
   std::vector<Frame> frames_;
-  std::unordered_map<const Function*, uint64_t> code_addr_;
-  std::unordered_map<const ir::GlobalVariable*, uint64_t> global_addr_;
+  ProgramLayout layout_;  // flat per-ordinal address vectors
+  std::unique_ptr<DecodedModule> decoded_;  // null when running the reference
 
   // Heap.
   uint64_t heap_next_ = kHeapBase;
@@ -294,14 +341,10 @@ class Machine {
 // Setup
 
 void Machine::LoadProgram() {
-  const ProgramLayout layout = ComputeProgramLayout(module_);
-  for (const auto& [fn, addr] : layout.code) {
-    code_addr_[fn] = addr;
-  }
+  layout_ = ComputeProgramLayout(module_);
   for (const auto& g : module_.globals()) {
-    const uint64_t addr = layout.GlobalAddress(g.get());
+    const uint64_t addr = layout_.GlobalAddress(g.get());
     const uint64_t size = g->type()->SizeInBytes();
-    global_addr_[g.get()] = addr;
     regular_.MapRange(addr, size, /*writable=*/!g->is_const());
     if (!g->initializer().empty()) {
       regular_.LoaderWrite(addr, g->initializer().data(),
@@ -492,6 +535,9 @@ bool Machine::PushFrame(const Function* callee, const std::vector<uint64_t>& arg
     f.meta[callee->args()[i]->value_id()] = arg_meta[i];
   }
   f.bb = callee->entry();
+  if (decoded_ != nullptr) {
+    f.dfunc = &decoded_->ForFunction(callee);
+  }
   f.ip = 0;
   f.saved_sp = sp_;
   f.saved_safe_sp = safe_sp_;
@@ -564,18 +610,27 @@ void Machine::ReturnToCaller(uint64_t value, const RegMeta& meta) {
 
 RunResult Machine::Run() {
   LoadProgram();
+  if (!options_.reference_interpreter) {
+    // One-time translation to the flat micro-op form, cached for the whole
+    // run (the decoded module outlives every frame pushed below).
+    decoded_ = std::make_unique<DecodedModule>(module_, layout_);
+  }
 
   const Function* main_fn = module_.FindFunction("main");
   CPI_CHECK(main_fn != nullptr);
   CPI_CHECK(main_fn->args().empty());
   PushFrame(main_fn, {}, {}, /*no_continuation=*/false);
 
-  while (!done_) {
-    if (result_.counters.instructions >= options_.max_steps) {
-      Trap(RunStatus::kOutOfFuel, Violation::kNone, "step budget exhausted");
-      break;
+  if (options_.reference_interpreter) {
+    while (!done_) {
+      if (result_.counters.instructions >= options_.max_steps) {
+        Trap(RunStatus::kOutOfFuel, Violation::kNone, "step budget exhausted");
+        break;
+      }
+      Step();
     }
-    Step();
+  } else {
+    RunDecodedLoop();
   }
 
   result_.counters.cache_hits = cache_.hits();
@@ -702,48 +757,12 @@ void Machine::Step() {
     case Opcode::kLibCall:
       ExecLibCall(f, inst);
       break;
-    case Opcode::kMalloc: {
-      const uint64_t requested = Eval(f, inst->operand(0));
-      const uint64_t size = std::max<uint64_t>((requested + 15) & ~15ULL, 16);
-      Cycles(kAllocCycles);
-      uint64_t addr = 0;
-      auto& free_list = free_lists_[size];
-      if (!free_list.empty()) {
-        addr = free_list.back();
-        free_list.pop_back();
-      } else {
-        if (heap_next_ + size > kHeapLimit) {
-          Crash("out of memory");
-          return;
-        }
-        addr = heap_next_;
-        heap_next_ += size;
-        regular_.MapRange(addr, size, /*writable=*/true);
-      }
-      const uint64_t id = temporal_.Allocate();
-      heap_blocks_[addr] = HeapBlock{size, id, true};
-      SetReg(f, inst, addr, RegMeta::Data(addr, addr + requested, id));
-      ++f.ip;
+    case Opcode::kMalloc:
+      DoMalloc(f, Eval(f, inst->operand(0)), inst->value_id());
       break;
-    }
-    case Opcode::kFree: {
-      const uint64_t addr = Eval(f, inst->operand(0));
-      Cycles(kAllocCycles);
-      if (addr == 0) {  // free(NULL) is a no-op
-        ++f.ip;
-        break;
-      }
-      auto it = heap_blocks_.find(addr);
-      if (it == heap_blocks_.end() || !it->second.live) {
-        Crash("invalid or double free");
-        return;
-      }
-      it->second.live = false;
-      temporal_.Free(it->second.temporal_id);
-      free_lists_[it->second.size].push_back(addr);
-      ++f.ip;
+    case Opcode::kFree:
+      DoFree(f, Eval(f, inst->operand(0)));
       break;
-    }
     case Opcode::kFuncAddr: {
       const uint64_t addr = CodeAddressOf(inst->callee());
       SetReg(f, inst, addr, RegMeta::Code(addr));
@@ -751,9 +770,7 @@ void Machine::Step() {
       break;
     }
     case Opcode::kGlobalAddr: {
-      auto it = global_addr_.find(inst->global());
-      CPI_CHECK(it != global_addr_.end());
-      const uint64_t addr = it->second;
+      const uint64_t addr = layout_.GlobalAddress(inst->global());
       SetReg(f, inst, addr,
              RegMeta::Data(addr, addr + inst->global()->type()->SizeInBytes(),
                            runtime::TemporalIdService::kStaticId));
@@ -803,12 +820,14 @@ void Machine::Step() {
 // Arithmetic
 
 void Machine::ExecBinOp(Frame& f, const Instruction* inst) {
-  const Value* a = inst->operand(0);
-  const Value* b = inst->operand(1);
-  const uint64_t x = Eval(f, a);
-  const uint64_t y = Eval(f, b);
-  const int bits = TypeBits(a->type());
-  const BinOp op = inst->binop();
+  DoBinOp(f, inst->binop(), TypeBits(inst->operand(0)->type()), TypeBits(inst->type()),
+          InstOps{*this, f, inst});
+}
+
+template <typename Ops>
+void Machine::DoBinOp(Frame& f, BinOp op, int bits, int result_bits, const Ops& ops) {
+  const uint64_t x = ops.value(0);
+  const uint64_t y = ops.value(1);
   uint64_t r = 0;
 
   if (op >= BinOp::kFAdd) {
@@ -831,7 +850,7 @@ void Machine::ExecBinOp(Frame& f, const Instruction* inst) {
       case BinOp::kFGe: r = fx >= fy; break;
       default: CPI_UNREACHABLE();
     }
-    SetReg(f, inst, r, RegMeta::None());
+    ops.set(r, RegMeta::None());
     ++f.ip;
     return;
   }
@@ -880,32 +899,36 @@ void Machine::ExecBinOp(Frame& f, const Instruction* inst) {
     case BinOp::kULe: r = x <= y; break;
     default: CPI_UNREACHABLE();
   }
-  r = MaskToWidth(r, TypeBits(inst->type()));
+  r = MaskToWidth(r, result_bits);
 
   // Pointer arithmetic propagates the based-on metadata of the pointer
   // operand (based-on case (iv)).
   RegMeta meta = RegMeta::None();
   if (op == BinOp::kAdd || op == BinOp::kSub) {
-    const RegMeta ma = EvalMeta(f, a);
-    const RegMeta mb = EvalMeta(f, b);
+    const RegMeta ma = ops.meta(0);
+    const RegMeta mb = ops.meta(1);
     if (ma.IsSafeValue() && !mb.IsSafeValue()) {
       meta = ma;
     } else if (mb.IsSafeValue() && !ma.IsSafeValue() && op == BinOp::kAdd) {
       meta = mb;
     }
   }
-  SetReg(f, inst, r, meta);
+  ops.set(r, meta);
   ++f.ip;
 }
 
 void Machine::ExecCast(Frame& f, const Instruction* inst) {
-  const uint64_t x = Eval(f, inst->operand(0));
-  const RegMeta meta = EvalMeta(f, inst->operand(0));
-  const int src_bits = TypeBits(inst->operand(0)->type());
-  const int dst_bits = TypeBits(inst->type());
+  DoCast(f, inst->cast_kind(), TypeBits(inst->operand(0)->type()), TypeBits(inst->type()),
+         InstOps{*this, f, inst});
+}
+
+template <typename Ops>
+void Machine::DoCast(Frame& f, CastKind kind, int src_bits, int dst_bits, const Ops& ops) {
+  const uint64_t x = ops.value(0);
+  const RegMeta meta = ops.meta(0);
   uint64_t r = x;
   RegMeta out = meta;  // Levee's relaxation: casts propagate metadata
-  switch (inst->cast_kind()) {
+  switch (kind) {
     case CastKind::kBitcast:
     case CastKind::kPtrToInt:
     case CastKind::kIntToPtr:
@@ -931,7 +954,7 @@ void Machine::ExecCast(Frame& f, const Instruction* inst) {
       out = RegMeta::None();
       break;
   }
-  SetReg(f, inst, r, out);
+  ops.set(r, out);
   ++f.ip;
 }
 
@@ -950,7 +973,55 @@ void Machine::ExecCallCommon(Frame& f, const Instruction* inst, const Function* 
   PushFrame(callee, args, metas, /*no_continuation=*/false);
 }
 
+// ---------------------------------------------------------------------------
+// Heap
+
+void Machine::DoMalloc(Frame& f, uint64_t requested, uint32_t dest) {
+  const uint64_t size = std::max<uint64_t>((requested + 15) & ~15ULL, 16);
+  Cycles(kAllocCycles);
+  uint64_t addr = 0;
+  auto& free_list = free_lists_[size];
+  if (!free_list.empty()) {
+    addr = free_list.back();
+    free_list.pop_back();
+  } else {
+    if (heap_next_ + size > kHeapLimit) {
+      Crash("out of memory");
+      return;
+    }
+    addr = heap_next_;
+    heap_next_ += size;
+    regular_.MapRange(addr, size, /*writable=*/true);
+  }
+  const uint64_t id = temporal_.Allocate();
+  heap_blocks_[addr] = HeapBlock{size, id, true};
+  SetRegId(f, dest, addr, RegMeta::Data(addr, addr + requested, id));
+  ++f.ip;
+}
+
+void Machine::DoFree(Frame& f, uint64_t addr) {
+  Cycles(kAllocCycles);
+  if (addr == 0) {  // free(NULL) is a no-op
+    ++f.ip;
+    return;
+  }
+  auto it = heap_blocks_.find(addr);
+  if (it == heap_blocks_.end() || !it->second.live) {
+    Crash("invalid or double free");
+    return;
+  }
+  it->second.live = false;
+  temporal_.Free(it->second.temporal_id);
+  free_lists_[it->second.size].push_back(addr);
+  ++f.ip;
+}
+
 void Machine::ExecRet(Frame& f, const Instruction* inst) {
+  DoRet(f, !inst->operands().empty(), InstOps{*this, f, inst});
+}
+
+template <typename Ops>
+void Machine::DoRet(Frame& f, bool has_value, const Ops& ops) {
   // Stack-cookie baseline: validate the canary before using the return slot.
   if (f.cookie_addr != 0) {
     uint64_t cookie = 0;
@@ -989,9 +1060,9 @@ void Machine::ExecRet(Frame& f, const Instruction* inst) {
     }
     uint64_t value = 0;
     RegMeta meta = RegMeta::None();
-    if (!inst->operands().empty()) {
-      value = Eval(f, inst->operand(0));
-      meta = EvalMeta(f, inst->operand(0));
+    if (has_value) {
+      value = ops.value(0);
+      meta = ops.meta(0);
     }
     ReturnToCaller(value, meta);
     return;
@@ -1018,12 +1089,16 @@ void Machine::ExecRet(Frame& f, const Instruction* inst) {
 // Libc-style routines
 
 void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
+  DoLibCall(f, inst->lib_func(), inst->checked(), InstOps{*this, f, inst});
+}
+
+template <typename Ops>
+void Machine::DoLibCall(Frame& f, LibFunc func, bool checked, const Ops& ops) {
   Cycles(kLibCallSetupCycles);
-  const LibFunc func = inst->lib_func();
   const ir::ProtectionFlags& prot = module_.protection();
 
-  auto value_of = [&](size_t i) { return Eval(f, inst->operand(i)); };
-  auto meta_of = [&](size_t i) { return EvalMeta(f, inst->operand(i)); };
+  auto value_of = [&](size_t i) { return ops.value(i); };
+  auto meta_of = [&](size_t i) { return ops.meta(i); };
 
   // C-string length helper (bounded scan so a missing NUL faults eventually).
   auto scan_strlen = [&](uint64_t addr, const RegMeta& meta, uint64_t* len) {
@@ -1042,7 +1117,7 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
   // SoftBound baseline: a checked libcall validates the whole touched range
   // against the pointer's bounds before a single byte moves.
   auto sb_range_check = [&](const RegMeta& meta, uint64_t addr, uint64_t n) {
-    if (!prot.softbound || !inst->checked() || n == 0) {
+    if (!prot.softbound || !checked || n == 0) {
       // Zero-length transfers access no memory; a one-past-the-end pointer
       // (addr == upper, legal C) must not trip the exclusive-bound check.
       return true;
@@ -1058,7 +1133,7 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
   // CPI/CPS checked variants move safe-store entries along with the bytes
   // (§3.2.2 type-specific memcpy); charge one store op per word.
   auto move_entries = [&](uint64_t dst, uint64_t src, uint64_t n, bool is_move) {
-    if (!(prot.cpi || prot.cps) || !inst->checked()) {
+    if (!(prot.cpi || prot.cps) || !checked) {
       return;
     }
     if (is_move) {
@@ -1075,7 +1150,7 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
   // that do not authenticate (plain data, or a byte-shifted pointer) are
   // left as-is — they simply never authenticate at their new home.
   auto reseal_entries = [&](uint64_t dst, uint64_t src, uint64_t n) {
-    if (!prot.ptrenc || !inst->checked() || ((dst ^ src) & 7) != 0 || dst == src) {
+    if (!prot.ptrenc || !checked || ((dst ^ src) & 7) != 0 || dst == src) {
       return;
     }
     const RegMeta dm = meta_of(0);
@@ -1095,7 +1170,7 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
     }
   };
   auto clear_entries = [&](uint64_t dst, uint64_t n) {
-    if (!(prot.cpi || prot.cps) || !inst->checked()) {
+    if (!(prot.cpi || prot.cps) || !checked) {
       return;
     }
     store_->ClearRange(dst, n);
@@ -1124,7 +1199,7 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
         return;
       }
       ChargeChunked(value_of(0), len + 1);
-      SetReg(f, inst, len, RegMeta::None());
+      ops.set(len, RegMeta::None());
       break;
     }
     case LibFunc::kStrcmp: {
@@ -1150,7 +1225,7 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
       }
       ChargeChunked(a, i + 1);
       ChargeChunked(b, i + 1);
-      SetReg(f, inst, static_cast<uint64_t>(r), RegMeta::None());
+      ops.set(static_cast<uint64_t>(r), RegMeta::None());
       break;
     }
     case LibFunc::kStrcpy: {
@@ -1168,7 +1243,7 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
         return;
       }
       clear_entries(dst, len + 1);
-      SetReg(f, inst, dst, meta_of(0));
+      ops.set(dst, meta_of(0));
       break;
     }
     case LibFunc::kStrncpy: {
@@ -1192,7 +1267,7 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
         }
       }
       clear_entries(dst, n);
-      SetReg(f, inst, dst, meta_of(0));
+      ops.set(dst, meta_of(0));
       break;
     }
     case LibFunc::kStrcat: {
@@ -1211,7 +1286,7 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
         return;
       }
       clear_entries(dst + dst_len, src_len + 1);
-      SetReg(f, inst, dst, meta_of(0));
+      ops.set(dst, meta_of(0));
       break;
     }
     case LibFunc::kMemcpy:
@@ -1228,7 +1303,7 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
       }
       move_entries(dst, src, n, func == LibFunc::kMemmove);
       reseal_entries(dst, src, n);
-      SetReg(f, inst, dst, meta_of(0));
+      ops.set(dst, meta_of(0));
       break;
     }
     case LibFunc::kMemset: {
@@ -1245,7 +1320,7 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
       }
       ChargeChunked(dst, n);
       clear_entries(dst, n);
-      SetReg(f, inst, dst, meta_of(0));
+      ops.set(dst, meta_of(0));
       break;
     }
     case LibFunc::kInputBytes: {
@@ -1264,7 +1339,7 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
       input_byte_pos_ += n;
       ChargeChunked(dst, n);
       clear_entries(dst, n);
-      SetReg(f, inst, n, RegMeta::None());
+      ops.set(n, RegMeta::None());
       break;
     }
   }
@@ -1277,13 +1352,18 @@ void Machine::ExecLibCall(Frame& f, const Instruction* inst) {
 // Instrumentation intrinsics
 
 void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
+  DoIntrinsic(f, inst->intrinsic(), InstOps{*this, f, inst});
+}
+
+template <typename Ops>
+void Machine::DoIntrinsic(Frame& f, IntrinsicId id, const Ops& ops) {
   const ir::ProtectionFlags& prot = module_.protection();
-  switch (inst->intrinsic()) {
+  switch (id) {
     // --- CPI ---------------------------------------------------------------
     case IntrinsicId::kCpiStore: {
-      const uint64_t addr = Eval(f, inst->operand(0));
-      const uint64_t value = Eval(f, inst->operand(1));
-      const RegMeta vm = EvalMeta(f, inst->operand(1));
+      const uint64_t addr = ops.value(0);
+      const uint64_t value = ops.value(1);
+      const RegMeta vm = ops.meta(1);
       SafeEntry entry;
       if (vm.kind == EntryKind::kCode) {
         entry = SafeEntry::Code(value);
@@ -1295,28 +1375,28 @@ void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
       StoreSet(addr, entry);
       if (prot.debug_mode) {
         // Debug mode (§3.2.2): mirror into the regular region too.
-        if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), value)) {
+        if (!DataWrite(addr, 8, ops.meta(0), value)) {
           return;
         }
       }
       break;
     }
     case IntrinsicId::kCpiLoad: {
-      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t addr = ops.value(0);
       const SafeEntry e = StoreGet(addr);
       if (!e.IsPresent()) {
         // Never stored through the safe store: yields a regular value, whose
         // use in any checked context aborts.
         uint64_t raw = 0;
-        if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &raw)) {
+        if (!DataRead(addr, 8, ops.meta(0), &raw)) {
           return;
         }
-        SetReg(f, inst, raw, RegMeta::None());
+        ops.set(raw, RegMeta::None());
         break;
       }
       if (prot.debug_mode) {
         uint64_t mirror = 0;
-        if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &mirror)) {
+        if (!DataRead(addr, 8, ops.meta(0), &mirror)) {
           return;
         }
         if (mirror != e.value) {
@@ -1325,13 +1405,13 @@ void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
           return;
         }
       }
-      SetReg(f, inst, e.value, RegMeta::FromEntry(e));
+      ops.set(e.value, RegMeta::FromEntry(e));
       break;
     }
     case IntrinsicId::kCpiStoreUni: {
-      const uint64_t addr = Eval(f, inst->operand(0));
-      const uint64_t value = Eval(f, inst->operand(1));
-      const RegMeta vm = EvalMeta(f, inst->operand(1));
+      const uint64_t addr = ops.value(0);
+      const uint64_t value = ops.value(1);
+      const RegMeta vm = ops.meta(1);
       const bool safe_value = vm.IsSafeValue() && (vm.kind == EntryKind::kCode ||
                                                    vm.lower <= vm.upper);
       if (safe_value) {
@@ -1341,7 +1421,7 @@ void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
                                           EntryKind::kData};
         StoreSet(addr, entry);
         if (prot.debug_mode) {
-          if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), value)) {
+          if (!DataWrite(addr, 8, ops.meta(0), value)) {
             return;
           }
         }
@@ -1349,19 +1429,19 @@ void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
         // A regular value: store to the regular region and kill any stale
         // protected entry for this slot.
         StoreClear(addr);
-        if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), value)) {
+        if (!DataWrite(addr, 8, ops.meta(0), value)) {
           return;
         }
       }
       break;
     }
     case IntrinsicId::kCpiLoadUni: {
-      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t addr = ops.value(0);
       const SafeEntry e = StoreGet(addr);
       if (e.IsPresent()) {
         if (prot.debug_mode) {
           uint64_t mirror = 0;
-          if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &mirror)) {
+          if (!DataRead(addr, 8, ops.meta(0), &mirror)) {
             return;
           }
           if (mirror != e.value) {
@@ -1370,20 +1450,20 @@ void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
             return;
           }
         }
-        SetReg(f, inst, e.value, RegMeta::FromEntry(e));
+        ops.set(e.value, RegMeta::FromEntry(e));
       } else {
         uint64_t raw = 0;
-        if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &raw)) {
+        if (!DataRead(addr, 8, ops.meta(0), &raw)) {
           return;
         }
-        SetReg(f, inst, raw, RegMeta::None());
+        ops.set(raw, RegMeta::None());
       }
       break;
     }
     case IntrinsicId::kCpiBoundsCheck: {
-      const uint64_t addr = Eval(f, inst->operand(0));
-      const uint64_t size = Eval(f, inst->operand(1));
-      const RegMeta meta = EvalMeta(f, inst->operand(0));
+      const uint64_t addr = ops.value(0);
+      const uint64_t size = ops.value(1);
+      const RegMeta meta = ops.meta(0);
       ChargeCheck();
       if (!meta.IsSafeValue() || !meta.InBounds(addr, size)) {
         Abort(Violation::kSpatialOutOfBounds, "CPI: sensitive dereference out of bounds");
@@ -1396,38 +1476,38 @@ void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
       break;
     }
     case IntrinsicId::kCpiAssertCode: {
-      const uint64_t value = Eval(f, inst->operand(0));
-      const RegMeta meta = EvalMeta(f, inst->operand(0));
+      const uint64_t value = ops.value(0);
+      const RegMeta meta = ops.meta(0);
       ChargeCheck();
       if (meta.kind != EntryKind::kCode || value != meta.lower) {
         Abort(Violation::kForgedCodePointer, "CPI: indirect call through unsafe code pointer");
         return;
       }
-      SetReg(f, inst, value, meta);
+      ops.set(value, meta);
       break;
     }
 
     // --- CPS ---------------------------------------------------------------
     case IntrinsicId::kCpsStore: {
-      const uint64_t addr = Eval(f, inst->operand(0));
-      const uint64_t value = Eval(f, inst->operand(1));
-      const RegMeta vm = EvalMeta(f, inst->operand(1));
+      const uint64_t addr = ops.value(0);
+      const uint64_t value = ops.value(1);
+      const RegMeta vm = ops.meta(1);
       StoreSet(addr, vm.kind == EntryKind::kCode ? SafeEntry::Code(value)
                                                  : SafeEntry::Invalid(value));
       if (prot.debug_mode) {
-        if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), value)) {
+        if (!DataWrite(addr, 8, ops.meta(0), value)) {
           return;
         }
       }
       break;
     }
     case IntrinsicId::kCpsLoad: {
-      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t addr = ops.value(0);
       const SafeEntry e = StoreGet(addr);
       if (e.IsPresent()) {
         if (prot.debug_mode) {
           uint64_t mirror = 0;
-          if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &mirror)) {
+          if (!DataRead(addr, 8, ops.meta(0), &mirror)) {
             return;
           }
           if (mirror != e.value) {
@@ -1436,72 +1516,72 @@ void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
             return;
           }
         }
-        SetReg(f, inst, e.value, RegMeta::FromEntry(e));
+        ops.set(e.value, RegMeta::FromEntry(e));
       } else {
         uint64_t raw = 0;
-        if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &raw)) {
+        if (!DataRead(addr, 8, ops.meta(0), &raw)) {
           return;
         }
-        SetReg(f, inst, raw, RegMeta::None());
+        ops.set(raw, RegMeta::None());
       }
       break;
     }
     case IntrinsicId::kCpsStoreUni: {
-      const uint64_t addr = Eval(f, inst->operand(0));
-      const uint64_t value = Eval(f, inst->operand(1));
-      const RegMeta vm = EvalMeta(f, inst->operand(1));
+      const uint64_t addr = ops.value(0);
+      const uint64_t value = ops.value(1);
+      const RegMeta vm = ops.meta(1);
       if (vm.kind == EntryKind::kCode) {
         StoreSet(addr, SafeEntry::Code(value));
       } else {
         StoreClear(addr);
-        if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), value)) {
+        if (!DataWrite(addr, 8, ops.meta(0), value)) {
           return;
         }
       }
       break;
     }
     case IntrinsicId::kCpsLoadUni: {
-      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t addr = ops.value(0);
       const SafeEntry e = StoreGet(addr);
       if (e.IsPresent() && e.kind == EntryKind::kCode) {
-        SetReg(f, inst, e.value, RegMeta::FromEntry(e));
+        ops.set(e.value, RegMeta::FromEntry(e));
       } else {
         uint64_t raw = 0;
-        if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &raw)) {
+        if (!DataRead(addr, 8, ops.meta(0), &raw)) {
           return;
         }
-        SetReg(f, inst, raw, RegMeta::None());
+        ops.set(raw, RegMeta::None());
       }
       break;
     }
     case IntrinsicId::kCpsAssertCode: {
-      const uint64_t value = Eval(f, inst->operand(0));
-      const RegMeta meta = EvalMeta(f, inst->operand(0));
+      const uint64_t value = ops.value(0);
+      const RegMeta meta = ops.meta(0);
       ChargeCheck();
       if (meta.kind != EntryKind::kCode) {
         Abort(Violation::kForgedCodePointer, "CPS: indirect call through unsafe code pointer");
         return;
       }
-      SetReg(f, inst, value, meta);
+      ops.set(value, meta);
       break;
     }
 
     // --- SoftBound baseline --------------------------------------------------
     case IntrinsicId::kSbStore: {
-      const uint64_t addr = Eval(f, inst->operand(0));
-      const uint64_t value = Eval(f, inst->operand(1));
-      if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), value)) {
+      const uint64_t addr = ops.value(0);
+      const uint64_t value = ops.value(1);
+      if (!DataWrite(addr, 8, ops.meta(0), value)) {
         return;
       }
-      sb_shadow_[addr] = EvalMeta(f, inst->operand(1));
+      sb_shadow_[addr] = ops.meta(1);
       ChargeAccess(kSbShadowBase + (addr >> 3) * 16);
       ChargeAccess(kSbShadowBase + (addr >> 3) * 16 + 8);
       break;
     }
     case IntrinsicId::kSbLoad: {
-      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t addr = ops.value(0);
       uint64_t raw = 0;
-      if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &raw)) {
+      if (!DataRead(addr, 8, ops.meta(0), &raw)) {
         return;
       }
       RegMeta meta = RegMeta::None();
@@ -1511,13 +1591,13 @@ void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
       }
       ChargeAccess(kSbShadowBase + (addr >> 3) * 16);
       ChargeAccess(kSbShadowBase + (addr >> 3) * 16 + 8);
-      SetReg(f, inst, raw, meta);
+      ops.set(raw, meta);
       break;
     }
     case IntrinsicId::kSbCheck: {
-      const uint64_t addr = Eval(f, inst->operand(0));
-      const uint64_t size = Eval(f, inst->operand(1));
-      const RegMeta meta = EvalMeta(f, inst->operand(0));
+      const uint64_t addr = ops.value(0);
+      const uint64_t size = ops.value(1);
+      const RegMeta meta = ops.meta(0);
       // Full memory safety checks every dereference, and the bounds usually
       // have to be re-fetched from the disjoint metadata space (SoftBound's
       // dominant cost); CPI's checks, by contrast, ride on metadata already
@@ -1538,7 +1618,7 @@ void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
 
     // --- CFI baseline --------------------------------------------------------
     case IntrinsicId::kCfiCheck: {
-      const uint64_t value = Eval(f, inst->operand(0));
+      const uint64_t value = ops.value(0);
       ++result_.counters.checks;
       Cycles(options_.costs.cfi_check);
       const Function* target = FunctionAtAddress(value);
@@ -1546,29 +1626,29 @@ void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
         Abort(Violation::kCfiBadTarget, "CFI: indirect call target not in the valid set");
         return;
       }
-      SetReg(f, inst, value, EvalMeta(f, inst->operand(0)));
+      ops.set(value, ops.meta(0));
       break;
     }
 
     // --- PtrEnc: in-place pointer sealing --------------------------------
     case IntrinsicId::kSealStore: {
-      const uint64_t addr = Eval(f, inst->operand(0));
-      const uint64_t value = Eval(f, inst->operand(1));
-      const RegMeta vm = EvalMeta(f, inst->operand(1));
+      const uint64_t addr = ops.value(0);
+      const uint64_t value = ops.value(1);
+      const RegMeta vm = ops.meta(1);
       uint64_t word = value;
       if (vm.kind == EntryKind::kCode) {
         word = sealer_.Seal(value, addr);
         ChargeSeal();
       }
-      if (!DataWrite(addr, 8, EvalMeta(f, inst->operand(0)), word)) {
+      if (!DataWrite(addr, 8, ops.meta(0), word)) {
         return;
       }
       break;
     }
     case IntrinsicId::kSealLoad: {
-      const uint64_t addr = Eval(f, inst->operand(0));
+      const uint64_t addr = ops.value(0);
       uint64_t raw = 0;
-      if (!DataRead(addr, 8, EvalMeta(f, inst->operand(0)), &raw)) {
+      if (!DataRead(addr, 8, ops.meta(0), &raw)) {
         return;
       }
       // Authenticate unconditionally (the aut instruction runs either way).
@@ -1578,15 +1658,15 @@ void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
       ChargeAuth();
       uint64_t value = 0;
       if (sealer_.Auth(raw, addr, &value)) {
-        SetReg(f, inst, value, RegMeta::Code(value));
+        ops.set(value, RegMeta::Code(value));
       } else {
-        SetReg(f, inst, raw, RegMeta::None());
+        ops.set(raw, RegMeta::None());
       }
       break;
     }
     case IntrinsicId::kSealAssertCode: {
-      const uint64_t value = Eval(f, inst->operand(0));
-      const RegMeta meta = EvalMeta(f, inst->operand(0));
+      const uint64_t value = ops.value(0);
+      const RegMeta meta = ops.meta(0);
       ChargeAuth();
       ++result_.counters.checks;
       if (meta.kind != EntryKind::kCode) {
@@ -1594,12 +1674,201 @@ void Machine::ExecIntrinsic(Frame& f, const Instruction* inst) {
               "ptrenc: indirect call through unauthenticated pointer");
         return;
       }
-      SetReg(f, inst, value, meta);
+      ops.set(value, meta);
       break;
     }
   }
   if (!done_) {
     ++f.ip;
+  }
+}
+
+
+// ---------------------------------------------------------------------------
+// Decoded engine: one handler per micro-op, dispatched through a function-
+// pointer table. Each handler is the corresponding Step() arm with operands
+// and type-derived payloads pre-resolved at decode time; cost charging and
+// trap behaviour are identical, instruction for instruction.
+
+void Machine::OpAlloca(Machine& m, Frame& f, const DecodedOp& op) {
+  uint64_t& sp = op.flag ? m.safe_sp_ : m.sp_;
+  sp -= op.imm;
+  sp &= ~op.imm2;  // imm2 = alignment - 1
+  const uint64_t addr = sp;
+  m.SetRegId(f, op.dest, addr,
+             RegMeta::Data(addr, addr + op.imm, runtime::TemporalIdService::kStaticId));
+  ++f.ip;
+}
+
+void Machine::OpLoad(Machine& m, Frame& f, const DecodedOp& op) {
+  const uint64_t addr = SlotVal(f, op.a);
+  uint64_t raw = 0;
+  if (!m.DataRead(addr, op.imm, SlotMeta(f, op.a), &raw)) {
+    return;
+  }
+  m.SetRegId(f, op.dest, raw, RegMeta::None());
+  ++f.ip;
+}
+
+void Machine::OpStore(Machine& m, Frame& f, const DecodedOp& op) {
+  const uint64_t value = SlotVal(f, op.a);
+  const uint64_t addr = SlotVal(f, op.b);
+  if (!m.DataWrite(addr, op.imm, SlotMeta(f, op.b), value)) {
+    return;
+  }
+  ++f.ip;
+}
+
+void Machine::OpFieldAddr(Machine& m, Frame& f, const DecodedOp& op) {
+  const uint64_t base = SlotVal(f, op.a);
+  const RegMeta base_meta = SlotMeta(f, op.a);
+  const uint64_t addr = base + op.imm;  // imm = field offset
+  RegMeta meta = RegMeta::None();
+  if (base_meta.IsSafeValue() && base_meta.kind == EntryKind::kData) {
+    // Sub-object narrowing (based-on case (iii)); imm2 = field size.
+    meta = RegMeta::Data(addr, addr + op.imm2, base_meta.temporal_id);
+  }
+  m.SetRegId(f, op.dest, addr, meta);
+  ++f.ip;
+}
+
+void Machine::OpIndexAddr(Machine& m, Frame& f, const DecodedOp& op) {
+  const uint64_t base = SlotVal(f, op.a);
+  const int64_t index = SignExtend(SlotVal(f, op.b), op.bits);
+  const uint64_t addr = base + static_cast<uint64_t>(index) * op.imm;  // imm = elem size
+  m.SetRegId(f, op.dest, addr, SlotMeta(f, op.a));
+  ++f.ip;
+}
+
+void Machine::OpBinOp(Machine& m, Frame& f, const DecodedOp& op) {
+  m.DoBinOp(f, static_cast<BinOp>(op.aux), op.bits, op.bits2, SlotOps{m, f, op});
+}
+
+void Machine::OpCast(Machine& m, Frame& f, const DecodedOp& op) {
+  m.DoCast(f, static_cast<CastKind>(op.aux), op.bits, op.bits2, SlotOps{m, f, op});
+}
+
+void Machine::OpSelect(Machine& m, Frame& f, const DecodedOp& op) {
+  const uint64_t cond = SlotVal(f, op.a);
+  const OperandSlot& chosen = cond != 0 ? op.b : op.c;
+  m.SetRegId(f, op.dest, SlotVal(f, chosen), SlotMeta(f, chosen));
+  ++f.ip;
+}
+
+void Machine::DoCallSlots(Frame& f, const DecodedOp& op, const Function* callee) {
+  std::vector<uint64_t> args(op.arg_count);
+  std::vector<RegMeta> metas(op.arg_count);
+  const OperandSlot* slots = f.dfunc->args.data() + op.arg_begin;
+  for (uint32_t i = 0; i < op.arg_count; ++i) {
+    args[i] = SlotVal(f, slots[i]);
+    metas[i] = SlotMeta(f, slots[i]);
+  }
+  f.pending_call = op.inst;
+  PushFrame(callee, args, metas, /*no_continuation=*/false);
+}
+
+void Machine::OpCall(Machine& m, Frame& f, const DecodedOp& op) {
+  m.DoCallSlots(f, op, op.callee);
+}
+
+void Machine::OpIndirectCall(Machine& m, Frame& f, const DecodedOp& op) {
+  const uint64_t target = SlotVal(f, op.a);
+  const Function* callee = m.FunctionAtAddress(target);
+  if (callee == nullptr) {
+    m.Crash("indirect call to a non-code address");
+    return;
+  }
+  if (callee->type()->params().size() != op.arg_count) {
+    m.Crash("indirect call with mismatched signature");
+    return;
+  }
+  m.DoCallSlots(f, op, callee);
+}
+
+void Machine::OpLibCall(Machine& m, Frame& f, const DecodedOp& op) {
+  m.DoLibCall(f, static_cast<LibFunc>(op.aux), op.flag, SlotOps{m, f, op});
+}
+
+void Machine::OpMalloc(Machine& m, Frame& f, const DecodedOp& op) {
+  m.DoMalloc(f, SlotVal(f, op.a), op.dest);
+}
+
+void Machine::OpFree(Machine& m, Frame& f, const DecodedOp& op) {
+  m.DoFree(f, SlotVal(f, op.a));
+}
+
+void Machine::OpFuncAddr(Machine& m, Frame& f, const DecodedOp& op) {
+  m.SetRegId(f, op.dest, op.imm, RegMeta::Code(op.imm));  // imm = code address
+  ++f.ip;
+}
+
+void Machine::OpGlobalAddr(Machine& m, Frame& f, const DecodedOp& op) {
+  // imm = global address, imm2 = global size.
+  m.SetRegId(f, op.dest, op.imm,
+             RegMeta::Data(op.imm, op.imm + op.imm2, runtime::TemporalIdService::kStaticId));
+  ++f.ip;
+}
+
+void Machine::OpBr(Machine&, Frame& f, const DecodedOp& op) { f.ip = op.target; }
+
+void Machine::OpCondBr(Machine&, Frame& f, const DecodedOp& op) {
+  f.ip = SlotVal(f, op.a) != 0 ? op.target : op.target2;
+}
+
+void Machine::OpRet(Machine& m, Frame& f, const DecodedOp& op) {
+  m.DoRet(f, op.flag, SlotOps{m, f, op});
+}
+
+void Machine::OpInput(Machine& m, Frame& f, const DecodedOp& op) {
+  uint64_t v = 0;
+  if (m.input_word_pos_ < m.options_.input_words.size()) {
+    v = m.options_.input_words[m.input_word_pos_++];
+  }
+  m.Cycles(2);
+  m.SetRegId(f, op.dest, v, RegMeta::None());
+  ++f.ip;
+}
+
+void Machine::OpOutput(Machine& m, Frame& f, const DecodedOp& op) {
+  if (m.result_.output.size() >= kMaxOutputWords) {
+    m.Crash("output limit exceeded");
+    return;
+  }
+  m.Cycles(2);
+  m.result_.output.push_back(SlotVal(f, op.a));
+  ++f.ip;
+}
+
+void Machine::OpIntrinsic(Machine& m, Frame& f, const DecodedOp& op) {
+  m.DoIntrinsic(f, static_cast<IntrinsicId>(op.aux), SlotOps{m, f, op});
+}
+
+// Indexed by MicroOp; must match the enum order in decode.h.
+const Machine::Handler Machine::kDispatch[static_cast<size_t>(MicroOp::kCount)] = {
+    &Machine::OpAlloca,   &Machine::OpLoad,         &Machine::OpStore,
+    &Machine::OpFieldAddr, &Machine::OpIndexAddr,   &Machine::OpBinOp,
+    &Machine::OpCast,     &Machine::OpSelect,       &Machine::OpCall,
+    &Machine::OpIndirectCall, &Machine::OpLibCall,  &Machine::OpMalloc,
+    &Machine::OpFree,     &Machine::OpFuncAddr,     &Machine::OpGlobalAddr,
+    &Machine::OpBr,       &Machine::OpCondBr,       &Machine::OpRet,
+    &Machine::OpInput,    &Machine::OpOutput,       &Machine::OpIntrinsic,
+};
+
+void Machine::RunDecodedLoop() {
+  while (!done_) {
+    if (result_.counters.instructions >= options_.max_steps) {
+      Trap(RunStatus::kOutOfFuel, Violation::kNone, "step budget exhausted");
+      break;
+    }
+    Frame& f = frames_.back();
+    // Same malformed-IR guard as the reference Step(): a block missing its
+    // terminator must abort loudly, not fall through into the next block's
+    // flattened ops.
+    CPI_CHECK(f.ip < f.dfunc->ops.size());
+    const DecodedOp& op = f.dfunc->ops[f.ip];
+    ++result_.counters.instructions;
+    Cycles(kBaseCycles);
+    kDispatch[static_cast<size_t>(op.op)](*this, f, op);
   }
 }
 
@@ -1612,9 +1881,12 @@ RunResult Execute(const ir::Module& module, const RunOptions& options) {
 
 ProgramLayout ComputeProgramLayout(const ir::Module& module) {
   ProgramLayout layout;
+  layout.code.resize(module.functions().size());
   for (size_t i = 0; i < module.functions().size(); ++i) {
-    layout.code[module.functions()[i].get()] = kCodeBase + i * kCodeStride;
+    CPI_CHECK(module.functions()[i]->ordinal() == i);
+    layout.code[i] = kCodeBase + i * kCodeStride;
   }
+  layout.globals.resize(module.globals().size());
   uint64_t ro = kRoGlobalBase;
   uint64_t rw = kRwGlobalBase;
   for (const auto& g : module.globals()) {
@@ -1622,7 +1894,8 @@ ProgramLayout ComputeProgramLayout(const ir::Module& module) {
     const uint64_t align = ir::AlignmentOf(g->type());
     uint64_t& cursor = g->is_const() ? ro : rw;
     cursor = (cursor + align - 1) / align * align;
-    layout.globals[g.get()] = cursor;
+    CPI_CHECK(g->ordinal() < layout.globals.size());
+    layout.globals[g->ordinal()] = cursor;
     cursor += size;
   }
   return layout;

@@ -18,7 +18,6 @@
 #define CPI_SRC_VM_MACHINE_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,6 +55,11 @@ struct RunOptions {
   uint64_t max_steps = 200'000'000;
   runtime::StoreKind store = runtime::StoreKind::kArray;
   runtime::IsolationKind isolation = runtime::IsolationKind::kSegment;
+  // Run the original tree-walking evaluator instead of the predecoded
+  // threaded-dispatch engine. Both produce bit-identical RunResults (the
+  // differential test in tests/decode_test.cc enforces this); the reference
+  // interpreter exists as the oracle, not as a supported fast path.
+  bool reference_interpreter = false;
   // §4 "Future MPX-based implementation": hardware-assisted bounds checks
   // cost no extra cycles (metadata traffic remains).
   bool mpx_assist = false;
@@ -118,20 +122,20 @@ RunResult Execute(const ir::Module& module, const RunOptions& options);
 
 // The (deterministic) addresses the loader will assign. Attack drivers use
 // this the way real exploits use known binary layouts: to embed target
-// addresses in their payloads.
+// addresses in their payloads. Addresses are flat vectors indexed by the
+// function/global ordinal, so the VM's per-instruction lookups are plain
+// array reads rather than map searches.
 struct ProgramLayout {
-  std::map<const ir::Function*, uint64_t> code;
-  std::map<const ir::GlobalVariable*, uint64_t> globals;
+  std::vector<uint64_t> code;     // by ir::Function::ordinal()
+  std::vector<uint64_t> globals;  // by ir::GlobalVariable::ordinal()
 
   uint64_t CodeAddress(const ir::Function* f) const {
-    auto it = code.find(f);
-    CPI_CHECK(it != code.end());
-    return it->second;
+    CPI_CHECK(f->ordinal() < code.size());
+    return code[f->ordinal()];
   }
   uint64_t GlobalAddress(const ir::GlobalVariable* g) const {
-    auto it = globals.find(g);
-    CPI_CHECK(it != globals.end());
-    return it->second;
+    CPI_CHECK(g->ordinal() < globals.size());
+    return globals[g->ordinal()];
   }
 };
 

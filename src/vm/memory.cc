@@ -5,6 +5,7 @@
 namespace cpi::vm {
 
 void ByteMemory::MapRange(uint64_t start, uint64_t size, bool writable) {
+  InvalidateTranslationCache();
   const uint64_t first = start / kPageBytes;
   const uint64_t last = (start + size + kPageBytes - 1) / kPageBytes;
   for (uint64_t p = first; p < last; ++p) {
@@ -15,6 +16,7 @@ void ByteMemory::MapRange(uint64_t start, uint64_t size, bool writable) {
 }
 
 void ByteMemory::UnmapRange(uint64_t start, uint64_t size) {
+  InvalidateTranslationCache();
   // Only whole pages strictly inside the range are unmapped; partial pages at
   // the edges stay (they may still back neighbouring objects).
   uint64_t first = (start + kPageBytes - 1) / kPageBytes;
@@ -24,27 +26,17 @@ void ByteMemory::UnmapRange(uint64_t start, uint64_t size) {
   }
 }
 
-ByteMemory::Page* ByteMemory::FindPage(uint64_t addr) {
-  auto it = pages_.find(addr / kPageBytes);
-  if (it == pages_.end() || !it->second.mapped) {
-    return nullptr;
-  }
-  return &it->second;
+ByteMemory::Page* ByteMemory::FindPageSlow(uint64_t id) {
+  auto it = pages_.find(id);
+  Page* page = (it == pages_.end() || !it->second.mapped) ? nullptr : &it->second;
+  cached_id_ = id;
+  cached_page_ = page;
+  return page;
 }
 
-const ByteMemory::Page* ByteMemory::FindPage(uint64_t addr) const {
-  auto it = pages_.find(addr / kPageBytes);
-  if (it == pages_.end() || !it->second.mapped) {
-    return nullptr;
-  }
-  return &it->second;
-}
-
-uint8_t* ByteMemory::PageBytes(Page& page) {
-  if (page.bytes == nullptr) {
-    page.bytes = std::make_unique<uint8_t[]>(kPageBytes);
-    std::memset(page.bytes.get(), 0, kPageBytes);
-  }
+uint8_t* ByteMemory::MaterializePage(Page& page) {
+  page.bytes = std::make_unique<uint8_t[]>(kPageBytes);
+  std::memset(page.bytes.get(), 0, kPageBytes);
   return page.bytes.get();
 }
 
@@ -55,7 +47,7 @@ bool ByteMemory::IsWritable(uint64_t addr) const {
   return p != nullptr && p->writable;
 }
 
-MemFault ByteMemory::Read(uint64_t addr, void* out, uint64_t size) const {
+MemFault ByteMemory::ReadSlow(uint64_t addr, void* out, uint64_t size) const {
   uint8_t* dst = static_cast<uint8_t*>(out);
   uint64_t done = 0;
   while (done < size) {
@@ -76,7 +68,7 @@ MemFault ByteMemory::Read(uint64_t addr, void* out, uint64_t size) const {
   return MemFault::kNone;
 }
 
-MemFault ByteMemory::Write(uint64_t addr, const void* data, uint64_t size) {
+MemFault ByteMemory::WriteSlow(uint64_t addr, const void* data, uint64_t size) {
   const uint8_t* src = static_cast<const uint8_t*>(data);
   // Validate the whole range first so partially-applied writes cannot occur.
   for (uint64_t a = addr / kPageBytes; a <= (addr + size - 1) / kPageBytes; ++a) {
@@ -100,19 +92,8 @@ MemFault ByteMemory::Write(uint64_t addr, const void* data, uint64_t size) {
   return MemFault::kNone;
 }
 
-MemFault ByteMemory::ReadU64(uint64_t addr, uint64_t* out) const {
-  return Read(addr, out, 8);
-}
-
-MemFault ByteMemory::WriteU64(uint64_t addr, uint64_t value) {
-  return Write(addr, &value, 8);
-}
-
-MemFault ByteMemory::ReadByte(uint64_t addr, uint8_t* out) const { return Read(addr, out, 1); }
-
-MemFault ByteMemory::WriteByte(uint64_t addr, uint8_t value) { return Write(addr, &value, 1); }
-
 void ByteMemory::LoaderWrite(uint64_t addr, const void* data, uint64_t size) {
+  InvalidateTranslationCache();
   const uint8_t* src = static_cast<const uint8_t*>(data);
   uint64_t done = 0;
   while (done < size) {

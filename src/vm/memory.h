@@ -9,6 +9,7 @@
 #define CPI_SRC_VM_MEMORY_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 
@@ -35,13 +36,43 @@ class ByteMemory {
   bool IsMapped(uint64_t addr) const;
   bool IsWritable(uint64_t addr) const;
 
-  MemFault Read(uint64_t addr, void* out, uint64_t size) const;
-  MemFault Write(uint64_t addr, const void* data, uint64_t size);
+  // Single-page accesses (virtually all of them: the VM reads/writes 1-8
+  // byte scalars) take the inline fast path; page-straddling accesses fall
+  // back to the chunked loop in memory.cc.
+  MemFault Read(uint64_t addr, void* out, uint64_t size) const {
+    if ((addr & (kPageBytes - 1)) + size <= kPageBytes) {
+      const Page* page = FindPage(addr);
+      if (page == nullptr) {
+        return MemFault::kUnmapped;
+      }
+      if (page->bytes == nullptr) {
+        std::memset(out, 0, size);
+      } else {
+        std::memcpy(out, page->bytes.get() + (addr & (kPageBytes - 1)), size);
+      }
+      return MemFault::kNone;
+    }
+    return ReadSlow(addr, out, size);
+  }
+  MemFault Write(uint64_t addr, const void* data, uint64_t size) {
+    if ((addr & (kPageBytes - 1)) + size <= kPageBytes) {
+      Page* page = FindPage(addr);
+      if (page == nullptr) {
+        return MemFault::kUnmapped;
+      }
+      if (!page->writable) {
+        return MemFault::kReadOnly;
+      }
+      std::memcpy(PageBytes(*page) + (addr & (kPageBytes - 1)), data, size);
+      return MemFault::kNone;
+    }
+    return WriteSlow(addr, data, size);
+  }
 
-  MemFault ReadU64(uint64_t addr, uint64_t* out) const;
-  MemFault WriteU64(uint64_t addr, uint64_t value);
-  MemFault ReadByte(uint64_t addr, uint8_t* out) const;
-  MemFault WriteByte(uint64_t addr, uint8_t value);
+  MemFault ReadU64(uint64_t addr, uint64_t* out) const { return Read(addr, out, 8); }
+  MemFault WriteU64(uint64_t addr, uint64_t value) { return Write(addr, &value, 8); }
+  MemFault ReadByte(uint64_t addr, uint8_t* out) const { return Read(addr, out, 1); }
+  MemFault WriteByte(uint64_t addr, uint8_t value) { return Write(addr, &value, 1); }
 
   // Raw write ignoring the read-only bit — used by the loader to place
   // constant data, never by program execution.
@@ -56,11 +87,39 @@ class ByteMemory {
     bool mapped = false;
   };
 
-  Page* FindPage(uint64_t addr);
-  const Page* FindPage(uint64_t addr) const;
-  uint8_t* PageBytes(Page& page);
+  Page* FindPage(uint64_t addr) {
+    const uint64_t id = addr / kPageBytes;
+    if (id == cached_id_) {
+      return cached_page_;
+    }
+    return FindPageSlow(id);
+  }
+  const Page* FindPage(uint64_t addr) const {
+    return const_cast<ByteMemory*>(this)->FindPage(addr);
+  }
+  Page* FindPageSlow(uint64_t id);
+  uint8_t* PageBytes(Page& page) {
+    if (page.bytes == nullptr) {
+      return MaterializePage(page);
+    }
+    return page.bytes.get();
+  }
+  uint8_t* MaterializePage(Page& page);
+  MemFault ReadSlow(uint64_t addr, void* out, uint64_t size) const;
+  MemFault WriteSlow(uint64_t addr, const void* data, uint64_t size);
+  void InvalidateTranslationCache() const {
+    cached_id_ = ~0ULL;
+    cached_page_ = nullptr;
+  }
 
   std::unordered_map<uint64_t, Page> pages_;
+  // One-entry translation cache: program accesses hit the same page in
+  // bursts, so most lookups skip the hash table. Pointers into pages_ are
+  // stable across inserts (node-based container); the cache is invalidated
+  // on every map/unmap. Purely a host-side speedup — no simulated cost
+  // depends on it.
+  mutable uint64_t cached_id_ = ~0ULL;
+  mutable Page* cached_page_ = nullptr;
 };
 
 }  // namespace cpi::vm

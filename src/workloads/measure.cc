@@ -1,5 +1,6 @@
 #include "src/workloads/measure.h"
 
+#include "src/ir/clone.h"
 #include "src/support/stats.h"
 
 namespace cpi::workloads {
@@ -13,10 +14,14 @@ std::vector<Measurement> MeasureWorkloads(const std::vector<Workload>& workloads
     m.workload = w.name;
     m.language = w.language;
 
+    // One frontend build per workload; every protection column instruments
+    // its own clone (instrumentation mutates the module in place).
+    auto built = w.build(scale);
+
     {
       core::Config vanilla = base;
       vanilla.protection = core::Protection::kNone;
-      auto module = w.build(scale);
+      auto module = ir::CloneModule(*built);
       core::Compiler compiler(vanilla);
       core::CompileOutput co = compiler.Instrument(*module);
       m.stats = co.stats;
@@ -29,7 +34,7 @@ std::vector<Measurement> MeasureWorkloads(const std::vector<Workload>& workloads
     for (core::Protection p : protections) {
       core::Config config = base;
       config.protection = p;
-      auto module = w.build(scale);
+      auto module = ir::CloneModule(*built);
       vm::RunResult r = core::InstrumentAndRun(*module, config, w.input);
       CPI_CHECK(r.status == vm::RunStatus::kOk);
       m.overhead_pct[p] = OverheadPercent(static_cast<double>(r.counters.cycles),

@@ -1,0 +1,168 @@
+// Differential tests for the predecoded threaded-dispatch engine.
+//
+// The decoded engine is a pure wall-clock optimisation: its simulated
+// behaviour — cycle counts, cache hits/misses, memory footprint, program
+// output, violations — must be bit-identical to the tree-walking reference
+// interpreter. These tests run both engines over every workload x every
+// registered protection scheme (plus attack programs that exercise the
+// hijack/crash/violation paths) and assert full RunResult equality.
+//
+// ir::CloneModule rides on the same invariant: a clone must instrument and
+// run exactly like a fresh build.
+#include <gtest/gtest.h>
+
+#include "src/attacks/ripe.h"
+#include "src/core/scheme.h"
+#include "src/ir/clone.h"
+#include "src/workloads/measure.h"
+#include "src/workloads/workloads.h"
+
+namespace cpi {
+namespace {
+
+using core::Config;
+using core::ProtectionScheme;
+using vm::RunResult;
+
+void ExpectIdentical(const RunResult& decoded, const RunResult& reference,
+                     const std::string& label) {
+  EXPECT_EQ(decoded.status, reference.status) << label;
+  EXPECT_EQ(decoded.violation, reference.violation) << label;
+  EXPECT_EQ(decoded.message, reference.message) << label;
+  EXPECT_EQ(decoded.exit_code, reference.exit_code) << label;
+  EXPECT_EQ(decoded.output, reference.output) << label;
+
+  const vm::Counters& dc = decoded.counters;
+  const vm::Counters& rc = reference.counters;
+  EXPECT_EQ(dc.instructions, rc.instructions) << label;
+  EXPECT_EQ(dc.cycles, rc.cycles) << label;
+  EXPECT_EQ(dc.mem_accesses, rc.mem_accesses) << label;
+  EXPECT_EQ(dc.safe_store_ops, rc.safe_store_ops) << label;
+  EXPECT_EQ(dc.seal_ops, rc.seal_ops) << label;
+  EXPECT_EQ(dc.checks, rc.checks) << label;
+  EXPECT_EQ(dc.calls, rc.calls) << label;
+  EXPECT_EQ(dc.hijack_transfers, rc.hijack_transfers) << label;
+  EXPECT_EQ(dc.cache_hits, rc.cache_hits) << label;
+  EXPECT_EQ(dc.cache_misses, rc.cache_misses) << label;
+
+  const vm::MemoryFootprint& dm = decoded.memory;
+  const vm::MemoryFootprint& rm = reference.memory;
+  EXPECT_EQ(dm.regular_bytes, rm.regular_bytes) << label;
+  EXPECT_EQ(dm.safe_store_bytes, rm.safe_store_bytes) << label;
+  EXPECT_EQ(dm.safe_stack_bytes, rm.safe_stack_bytes) << label;
+  EXPECT_EQ(dm.safe_store_entries, rm.safe_store_entries) << label;
+}
+
+// Instrument + run one clone of `built` per engine and compare.
+void RunBothEngines(const ir::Module& built, Config config, const core::Input& input,
+                    const std::string& label) {
+  config.reference_interpreter = false;
+  auto decoded_module = ir::CloneModule(built);
+  const RunResult decoded = core::InstrumentAndRun(*decoded_module, config, input);
+
+  config.reference_interpreter = true;
+  auto reference_module = ir::CloneModule(built);
+  const RunResult reference = core::InstrumentAndRun(*reference_module, config, input);
+
+  ExpectIdentical(decoded, reference, label);
+}
+
+// The acceptance bar: every workload x every registered scheme agrees on the
+// whole RunResult, down to individual counter values.
+TEST(DecodeDifferentialTest, AllWorkloadsAllSchemes) {
+  for (const workloads::Workload& w : workloads::SpecCpu2006()) {
+    auto built = w.build(1);
+    for (const ProtectionScheme* s : core::SchemeRegistry::All()) {
+      Config config;
+      config.protection = s->id();
+      RunBothEngines(*built, config, w.input, w.name + " / " + s->name());
+    }
+  }
+}
+
+// The hash and two-level store organisations exercise different safe-store
+// touch patterns (probe chains, directory walks) and the checked-libcall
+// CopyRange path; cover them for the store-backed schemes.
+TEST(DecodeDifferentialTest, AlternativeStoreOrganisations) {
+  for (const workloads::Workload& w : workloads::SpecCpu2006()) {
+    auto built = w.build(1);
+    for (core::Protection p : {core::Protection::kCps, core::Protection::kCpi}) {
+      for (runtime::StoreKind store :
+           {runtime::StoreKind::kHash, runtime::StoreKind::kTwoLevel}) {
+        Config config;
+        config.protection = p;
+        config.store = store;
+        RunBothEngines(*built, config, w.input,
+                       w.name + " / " + core::ProtectionName(p) + " / " +
+                           runtime::StoreKindName(store));
+      }
+    }
+  }
+}
+
+// Attack programs drive the paths benign workloads never reach: corrupted
+// return tokens, hijack transfers into no-continuation frames, protection
+// aborts, and plain crashes. Both engines must tell the same story.
+TEST(DecodeDifferentialTest, AttackMatrixAllSchemes) {
+  const std::vector<attacks::AttackSpec> matrix = attacks::GenerateAttackMatrix();
+  for (const ProtectionScheme* s : core::SchemeRegistry::All()) {
+    for (const attacks::AttackSpec& spec : matrix) {
+      Config config;
+      config.protection = s->id();
+
+      config.reference_interpreter = false;
+      const attacks::AttackResult decoded = attacks::RunAttack(spec, config);
+
+      config.reference_interpreter = true;
+      const attacks::AttackResult reference = attacks::RunAttack(spec, config);
+
+      const std::string label = spec.Name() + " / " + s->name();
+      EXPECT_EQ(decoded.outcome, reference.outcome) << label;
+      EXPECT_EQ(decoded.status, reference.status) << label;
+      EXPECT_EQ(decoded.violation, reference.violation) << label;
+      EXPECT_EQ(decoded.message, reference.message) << label;
+    }
+  }
+}
+
+// CloneModule preserves ordinals, layout and numbering: a clone's run is
+// bit-identical to the original's under the same configuration.
+TEST(CloneModuleTest, CloneRunsIdenticallyToFreshBuild) {
+  for (const workloads::Workload& w : workloads::SpecCpu2006()) {
+    for (core::Protection p :
+         {core::Protection::kNone, core::Protection::kCpi, core::Protection::kPtrEnc}) {
+      Config config;
+      config.protection = p;
+
+      auto original = w.build(1);
+      auto clone = ir::CloneModule(*original);
+
+      const RunResult from_original = core::InstrumentAndRun(*original, config, w.input);
+      const RunResult from_clone = core::InstrumentAndRun(*clone, config, w.input);
+      ExpectIdentical(from_clone, from_original,
+                      w.name + " clone / " + core::ProtectionName(p));
+    }
+  }
+}
+
+// A clone is fully detached from its source: instrumenting the clone must
+// not touch the original module.
+TEST(CloneModuleTest, CloneIsIndependent) {
+  const workloads::Workload& w = workloads::SpecCpu2006().front();
+  auto original = w.build(1);
+  const size_t before = original->InstructionCount();
+
+  auto clone = ir::CloneModule(*original);
+  Config config;
+  config.protection = core::Protection::kCpi;
+  core::Compiler compiler(config);
+  compiler.Instrument(*clone);
+
+  EXPECT_EQ(original->InstructionCount(), before);
+  EXPECT_FALSE(original->protection().cpi);
+  EXPECT_TRUE(clone->protection().cpi);
+  EXPECT_GT(clone->InstructionCount(), before);
+}
+
+}  // namespace
+}  // namespace cpi
