@@ -4,39 +4,67 @@
 // cost; SFI masks every regular memory operation, which the paper measured
 // at "less than 5%" additional overhead. Expected shape: sfi column a few
 // percent above the other two, which are identical.
+//
+// Harness shape: each workload is frontend-built once; the vanilla baseline
+// and every isolation configuration instrument their own clone, and all
+// cells run across the --jobs pool.
 #include <cstdio>
 
+#include "bench/flags.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
 #include "src/workloads/measure.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cpi::bench::Flags flags = cpi::bench::Parse(argc, argv);
+
   std::printf("Ablation (§3.2.3) — isolation mechanism cost under CPI\n\n");
 
-  using cpi::core::Config;
   using cpi::core::Protection;
   using cpi::runtime::IsolationKind;
+  using cpi::workloads::CellResult;
+  using cpi::workloads::MeasureCell;
+
+  const std::vector<IsolationKind> isolations = {
+      IsolationKind::kSegment, IsolationKind::kInfoHiding, IsolationKind::kSfi};
+
+  const auto& workloads = cpi::workloads::SpecCpu2006();
+  const auto built = cpi::workloads::BuildWorkloads(workloads, flags.scale, flags.jobs);
+  const auto views = cpi::workloads::ModuleViews(built);
+
+  // Per workload: vanilla baseline, then CPI under each isolation kind.
+  std::vector<MeasureCell> cells;
+  const size_t stride = 1 + isolations.size();
+  cells.reserve(workloads.size() * stride);
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    MeasureCell vanilla;
+    vanilla.workload = wi;
+    cells.push_back(vanilla);
+    for (IsolationKind iso : isolations) {
+      MeasureCell cell;
+      cell.workload = wi;
+      cell.config.protection = Protection::kCpi;
+      cell.config.isolation = iso;
+      cells.push_back(cell);
+    }
+  }
+  const std::vector<CellResult> results =
+      cpi::workloads::RunCells(workloads, views, cells, flags.jobs);
 
   cpi::Table table({"Benchmark", "segment", "info-hiding", "sfi"});
   std::map<IsolationKind, std::vector<double>> columns;
-  for (const auto& w : cpi::workloads::SpecCpu2006()) {
-    Config vanilla;
-    auto base_module = w.build(1);
-    auto base = cpi::core::InstrumentAndRun(*base_module, vanilla, w.input);
-    const double base_cycles = static_cast<double>(base.counters.cycles);
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const CellResult& base = results[wi * stride];
+    CPI_CHECK(base.status == cpi::vm::RunStatus::kOk);
+    const double base_cycles = static_cast<double>(base.cycles);
 
-    std::vector<std::string> row = {w.name};
-    for (IsolationKind iso :
-         {IsolationKind::kSegment, IsolationKind::kInfoHiding, IsolationKind::kSfi}) {
-      Config config;
-      config.protection = Protection::kCpi;
-      config.isolation = iso;
-      auto module = w.build(1);
-      auto r = cpi::core::InstrumentAndRun(*module, config, w.input);
+    std::vector<std::string> row = {workloads[wi].name};
+    for (size_t ii = 0; ii < isolations.size(); ++ii) {
+      const CellResult& r = results[wi * stride + 1 + ii];
       CPI_CHECK(r.status == cpi::vm::RunStatus::kOk);
-      const double overhead = cpi::OverheadPercent(
-          static_cast<double>(r.counters.cycles), base_cycles);
-      columns[iso].push_back(overhead);
+      const double overhead =
+          cpi::OverheadPercent(static_cast<double>(r.cycles), base_cycles);
+      columns[isolations[ii]].push_back(overhead);
       row.push_back(cpi::Table::FormatPercent(overhead));
     }
     table.AddRow(row);

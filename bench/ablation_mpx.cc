@@ -3,41 +3,67 @@
 // while the metadata loads/stores remain. Expected shape: the mpx column
 // strictly below software CPI, with the gap largest on check-heavy
 // (pointer-intensive) workloads.
+//
+// Harness shape: each workload is frontend-built once; the vanilla baseline
+// and both CPI variants instrument their own clone, and all cells run
+// across the --jobs pool.
 #include <cstdio>
 
+#include "bench/flags.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
 #include "src/workloads/measure.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cpi::bench::Flags flags = cpi::bench::Parse(argc, argv);
+
   std::printf("Ablation (§4) — projected hardware-assisted (MPX-style) CPI\n\n");
 
-  using cpi::core::Config;
   using cpi::core::Protection;
+  using cpi::workloads::CellResult;
+  using cpi::workloads::MeasureCell;
+
+  const auto& workloads = cpi::workloads::SpecCpu2006();
+  const auto built = cpi::workloads::BuildWorkloads(workloads, flags.scale, flags.jobs);
+  const auto views = cpi::workloads::ModuleViews(built);
+
+  // Per workload: vanilla baseline, software CPI, MPX-assisted CPI.
+  std::vector<MeasureCell> cells;
+  const size_t stride = 3;
+  cells.reserve(workloads.size() * stride);
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    MeasureCell vanilla;
+    vanilla.workload = wi;
+    cells.push_back(vanilla);
+    for (bool mpx : {false, true}) {
+      MeasureCell cell;
+      cell.workload = wi;
+      cell.config.protection = Protection::kCpi;
+      cell.config.mpx_assist = mpx;
+      cells.push_back(cell);
+    }
+  }
+  const std::vector<CellResult> results =
+      cpi::workloads::RunCells(workloads, views, cells, flags.jobs);
 
   cpi::Table table({"Benchmark", "CPI (software)", "CPI (MPX-assisted)"});
   std::vector<double> sw;
   std::vector<double> hw;
-  for (const auto& w : cpi::workloads::SpecCpu2006()) {
-    Config vanilla;
-    auto base_module = w.build(1);
-    auto base = cpi::core::InstrumentAndRun(*base_module, vanilla, w.input);
-    const double base_cycles = static_cast<double>(base.counters.cycles);
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const CellResult& base = results[wi * stride];
+    CPI_CHECK(base.status == cpi::vm::RunStatus::kOk);
+    const double base_cycles = static_cast<double>(base.cycles);
 
-    auto measure = [&](bool mpx) {
-      Config config;
-      config.protection = Protection::kCpi;
-      config.mpx_assist = mpx;
-      auto module = w.build(1);
-      auto r = cpi::core::InstrumentAndRun(*module, config, w.input);
+    auto overhead_at = [&](size_t offset) {
+      const CellResult& r = results[wi * stride + offset];
       CPI_CHECK(r.status == cpi::vm::RunStatus::kOk);
-      return cpi::OverheadPercent(static_cast<double>(r.counters.cycles), base_cycles);
+      return cpi::OverheadPercent(static_cast<double>(r.cycles), base_cycles);
     };
-    const double software = measure(false);
-    const double assisted = measure(true);
+    const double software = overhead_at(1);
+    const double assisted = overhead_at(2);
     sw.push_back(software);
     hw.push_back(assisted);
-    table.AddRow({w.name, cpi::Table::FormatPercent(software),
+    table.AddRow({workloads[wi].name, cpi::Table::FormatPercent(software),
                   cpi::Table::FormatPercent(assisted)});
   }
   table.AddSeparator();

@@ -7,17 +7,21 @@
 // overhead of the pybench benchmark" the paper calls out in §5.3.
 #include <cstdio>
 
+#include "bench/flags.h"
 #include "src/core/scheme.h"
 #include "src/support/table.h"
 #include "src/workloads/measure.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cpi::bench::Flags flags = cpi::bench::Parse(argc, argv);
+
   std::printf("Fig. 4 — Phoronix suite performance overhead\n\n");
 
   using cpi::core::ProtectionScheme;
   const auto schemes = cpi::core::SchemeRegistry::OverheadColumns();
   const auto measurements = cpi::workloads::MeasureWorkloads(
-      cpi::workloads::Phoronix(), cpi::workloads::OverheadProtections(), /*scale=*/1);
+      cpi::workloads::Phoronix(), cpi::workloads::OverheadProtections(), flags.scale,
+      {}, flags.jobs);
 
   std::vector<std::string> header = {"Benchmark"};
   for (const ProtectionScheme* s : schemes) {
@@ -27,7 +31,7 @@ int main() {
   for (const auto& m : measurements) {
     std::vector<std::string> row = {m.workload};
     for (const ProtectionScheme* s : schemes) {
-      row.push_back(cpi::Table::FormatPercent(m.overhead_pct.at(s->id())));
+      row.push_back(cpi::Table::FormatPercent(m.OverheadPct(s->id())));
     }
     table.AddRow(row);
   }

@@ -13,16 +13,20 @@
 //   PtrEnc                    : stops all, CPS-like overhead, no safe region
 #include <cstdio>
 
+#include "bench/flags.h"
 #include "src/attacks/ripe.h"
 #include "src/core/scheme.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
 #include "src/workloads/measure.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cpi::bench::Flags flags = cpi::bench::Parse(argc, argv);
+
   std::printf("Fig. 5 — control-flow hijack defense mechanisms\n\n");
 
   using cpi::core::Config;
+  using cpi::core::Protection;
   using cpi::core::ProtectionScheme;
 
   // Measure overheads on a representative subset (full SPEC set under
@@ -34,14 +38,24 @@ int main() {
     workloads.push_back(*cpi::workloads::FindWorkload(name));
   }
 
+  // One build per subset workload; every defense row instruments clones, and
+  // all (workload x defense) cells run across the --jobs pool.
+  const auto rows = cpi::core::SchemeRegistry::DefenseRows();
+  std::vector<Protection> protections;
+  for (const ProtectionScheme* s : rows) {
+    protections.push_back(s->id());
+  }
+  const auto measurements = cpi::workloads::MeasureWorkloads(
+      workloads, protections, flags.scale, {}, flags.jobs);
+
   cpi::Table table({"Mechanism", "Stops all control-flow hijacks?", "Avg overhead"});
-  for (const ProtectionScheme* s : cpi::core::SchemeRegistry::DefenseRows()) {
+  for (const ProtectionScheme* s : rows) {
     Config config;
     config.protection = s->id();
 
     int hijacked = 0;
     int total = 0;
-    for (const auto& r : cpi::attacks::RunAttackMatrix(config)) {
+    for (const auto& r : cpi::attacks::RunAttackMatrix(config, flags.jobs)) {
       ++total;
       if (r.Hijacked()) {
         ++hijacked;
@@ -50,18 +64,12 @@ int main() {
 
     std::vector<double> overheads;
     bool any_failed = false;
-    for (const auto& w : workloads) {
-      Config vanilla;
-      auto base_module = w.build(1);
-      auto base = cpi::core::InstrumentAndRun(*base_module, vanilla, w.input);
-      auto module = w.build(1);
-      auto r = cpi::core::InstrumentAndRun(*module, config, w.input);
-      if (r.status != cpi::vm::RunStatus::kOk) {
+    for (const auto& m : measurements) {
+      if (m.status.at(s->id()) != cpi::vm::RunStatus::kOk) {
         any_failed = true;
         continue;
       }
-      overheads.push_back(cpi::OverheadPercent(static_cast<double>(r.counters.cycles),
-                                               static_cast<double>(base.counters.cycles)));
+      overheads.push_back(m.overhead_pct.at(s->id()));
     }
 
     std::string verdict = hijacked == 0

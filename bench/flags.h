@@ -1,0 +1,56 @@
+// Shared CLI parsing for the bench drivers.
+//
+//   --json       machine-readable output (where the driver supports it)
+//   --time       print harness wall-clock
+//   --scale N    workload size multiplier (also accepts "small" == 1)
+//   --jobs N     measurement-cell parallelism; 0 or omitted = hardware
+//                concurrency, 1 = strictly serial (bit-identical tables
+//                either way — only wall-clock changes)
+#ifndef CPI_BENCH_FLAGS_H_
+#define CPI_BENCH_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/support/pool.h"
+
+namespace cpi::bench {
+
+struct Flags {
+  bool json = false;
+  bool timing = false;
+  int scale = 1;
+  int jobs = 0;  // resolved to ThreadPool::DefaultJobs() by Parse
+};
+
+inline Flags Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      flags.json = true;
+    } else if (std::strcmp(argv[i], "--time") == 0) {
+      flags.timing = true;
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      ++i;
+      flags.scale = std::strcmp(argv[i], "small") == 0 ? 1 : std::atoi(argv[i]);
+      if (flags.scale < 1) {
+        std::fprintf(stderr, "invalid --scale; using 1\n");
+        flags.scale = 1;
+      }
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      flags.jobs = std::atoi(argv[++i]);
+      if (flags.jobs < 0) {
+        flags.jobs = 0;
+      }
+    }
+  }
+  if (flags.jobs == 0) {
+    flags.jobs = ThreadPool::DefaultJobs();
+  }
+  return flags;
+}
+
+}  // namespace cpi::bench
+
+#endif  // CPI_BENCH_FLAGS_H_

@@ -7,42 +7,33 @@
 // Expected shape (paper medians): SafeStack ~0.1%; CPS 2.1% (hash table) vs
 // 5.6% (array); CPI 13.9% (hash table) vs 105% (array) — the sparse array
 // trades memory for speed, the hash table the reverse.
+//
+// Harness shape: one frontend build per workload for the whole
+// store x scheme sweep, then every (store, workload, scheme) configuration
+// becomes an independent MeasureCell executed across the --jobs pool.
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <map>
 
+#include "bench/flags.h"
 #include "src/core/scheme.h"
-#include "src/ir/clone.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
 #include "src/workloads/measure.h"
 
 int main(int argc, char** argv) {
-  bool json = false;
-  bool timing = false;
-  int scale = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--time") == 0) {
-      timing = true;
-    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
-      scale = std::atoi(argv[++i]);
-    }
-  }
-  if (scale < 1) {
-    std::fprintf(stderr, "invalid --scale; using 1\n");
-    scale = 1;
-  }
+  const cpi::bench::Flags flags = cpi::bench::Parse(argc, argv);
 
-  using cpi::core::Config;
   using cpi::core::Protection;
   using cpi::core::ProtectionScheme;
   using cpi::runtime::StoreKind;
+  using cpi::workloads::CellResult;
+  using cpi::workloads::MeasureCell;
 
   const auto schemes = cpi::core::SchemeRegistry::OverheadColumns();
+  const auto& workloads = cpi::workloads::SpecCpu2006();
+  const std::vector<StoreKind> stores = {StoreKind::kHash, StoreKind::kTwoLevel,
+                                         StoreKind::kArray};
 
   struct StoreResult {
     StoreKind store;
@@ -53,44 +44,51 @@ int main(int argc, char** argv) {
 
   const auto start = std::chrono::steady_clock::now();
 
-  // One frontend build per workload for the whole store x scheme sweep:
-  // every configuration instruments its own clone.
-  std::vector<std::unique_ptr<cpi::ir::Module>> built;
-  for (const auto& w : cpi::workloads::SpecCpu2006()) {
-    built.push_back(w.build(scale));
-  }
+  const auto built = cpi::workloads::BuildWorkloads(workloads, flags.scale, flags.jobs);
+  const auto views = cpi::workloads::ModuleViews(built);
 
-  // The vanilla baseline never touches the safe store; measure it once per
-  // workload rather than once per store organisation.
-  std::map<std::string, double> base_mem_by_workload;
-  {
-    size_t wi = 0;
-    for (const auto& w : cpi::workloads::SpecCpu2006()) {
-      Config vanilla;
-      auto base_module = cpi::ir::CloneModule(*built[wi++]);
-      auto base = cpi::core::InstrumentAndRun(*base_module, vanilla, w.input);
-      base_mem_by_workload[w.name] = static_cast<double>(base.memory.TotalBytes());
+  // Cell order: first one vanilla baseline per workload (the baseline never
+  // touches the safe store, so it is independent of the organisation), then
+  // the full store x workload x scheme sweep.
+  std::vector<MeasureCell> cells;
+  cells.reserve(workloads.size() * (1 + stores.size() * schemes.size()));
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    MeasureCell cell;
+    cell.workload = wi;
+    cells.push_back(cell);
+  }
+  for (StoreKind store : stores) {
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+      for (const ProtectionScheme* s : schemes) {
+        MeasureCell cell;
+        cell.workload = wi;
+        cell.config.protection = s->id();
+        cell.config.store = store;
+        cells.push_back(cell);
+      }
     }
   }
 
-  for (StoreKind store : {StoreKind::kHash, StoreKind::kTwoLevel, StoreKind::kArray}) {
+  const std::vector<CellResult> cell_results =
+      cpi::workloads::RunCells(workloads, views, cells, flags.jobs);
+
+  // Deterministic reduction in cell order.
+  size_t ci = 0;
+  std::vector<double> base_mem(workloads.size());
+  for (size_t wi = 0; wi < workloads.size(); ++wi, ++ci) {
+    CPI_CHECK(cell_results[ci].status == cpi::vm::RunStatus::kOk);
+    base_mem[wi] = static_cast<double>(cell_results[ci].memory_bytes);
+  }
+  for (StoreKind store : stores) {
     std::map<Protection, std::vector<double>> overheads;
     std::map<Protection, std::vector<double>> store_bytes;
-    size_t wi = 0;
-    for (const auto& w : cpi::workloads::SpecCpu2006()) {
-      const double base_mem = base_mem_by_workload.at(w.name);
-      const cpi::ir::Module& base_module = *built[wi++];
-
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
       for (const ProtectionScheme* s : schemes) {
-        Config config;
-        config.protection = s->id();
-        config.store = store;
-        auto module = cpi::ir::CloneModule(base_module);
-        auto r = cpi::core::InstrumentAndRun(*module, config, w.input);
+        const CellResult& r = cell_results[ci++];
         CPI_CHECK(r.status == cpi::vm::RunStatus::kOk);
         overheads[s->id()].push_back(cpi::OverheadPercent(
-            static_cast<double>(r.memory.TotalBytes()), base_mem));
-        store_bytes[s->id()].push_back(static_cast<double>(r.memory.safe_store_bytes));
+            static_cast<double>(r.memory_bytes), base_mem[wi]));
+        store_bytes[s->id()].push_back(static_cast<double>(r.safe_store_bytes));
       }
     }
     StoreResult result;
@@ -106,7 +104,7 @@ int main(int argc, char** argv) {
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
 
-  if (json) {
+  if (flags.json) {
     std::printf("{\"bench\":\"mem_overhead\",\"wall_ms\":%.1f,\"stores\":[", wall_ms);
     for (size_t i = 0; i < results.size(); ++i) {
       std::printf("%s{\"store\":\"%s\",\"median_overhead_pct\":{",
@@ -160,9 +158,10 @@ int main(int argc, char** argv) {
               "CPI 13.9%% hash / 105%% array. Expect hash << array for CPI, CPS well below\n"
               "CPI for every organisation, and ptrenc at exactly 0 safe-store bytes (its\n"
               "MACs live in the pointers' own high bits).\n");
-  if (timing) {
-    std::printf("\nwall-clock: %.1f ms (build + instrument + run, all stores, scale %d)\n",
-                wall_ms, scale);
+  if (flags.timing) {
+    std::printf("\nwall-clock: %.1f ms (build + instrument + run, all stores, "
+                "scale %d, jobs %d)\n",
+                wall_ms, flags.scale, flags.jobs);
   }
   return 0;
 }

@@ -11,11 +11,14 @@
 // region).
 #include <cstdio>
 
+#include "bench/flags.h"
 #include "src/attacks/ripe.h"
 #include "src/core/scheme.h"
 #include "src/support/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cpi::bench::Flags flags = cpi::bench::Parse(argc, argv);
+
   using cpi::core::Config;
   using cpi::core::Protection;
   using cpi::core::ProtectionScheme;
@@ -28,7 +31,7 @@ int main() {
     Config config;
     config.protection = s->id();
     int counts[4] = {0, 0, 0, 0};
-    for (const auto& r : cpi::attacks::RunAttackMatrix(config)) {
+    for (const auto& r : cpi::attacks::RunAttackMatrix(config, flags.jobs)) {
       ++counts[static_cast<int>(r.outcome)];
     }
     table.AddRow({s->name(), std::to_string(counts[0]), std::to_string(counts[1]),
@@ -39,7 +42,7 @@ int main() {
   std::printf("\nDetailed CFI bypasses (the [19,15,9]-style attacks):\n");
   Config cfi;
   cfi.protection = Protection::kCfi;
-  for (const auto& r : cpi::attacks::RunAttackMatrix(cfi)) {
+  for (const auto& r : cpi::attacks::RunAttackMatrix(cfi, flags.jobs)) {
     if (r.Hijacked()) {
       std::printf("  HIJACKED under CFI: %s\n", r.spec.Name().c_str());
     }

@@ -1,0 +1,732 @@
+// The unified bench suite: every paper table/figure in one process, sharing
+// one frontend build per workload across all of them, with every
+// (workload × configuration) measurement cell executed across the --jobs
+// thread pool (src/support/pool.h).
+//
+//   suite                 human-readable report, all tables
+//   suite --json          one consolidated machine-readable report
+//   suite --scale N       workload size multiplier ("small" == 1)
+//   suite --jobs N        cell parallelism (default: hardware concurrency)
+//   suite --time          append wall-clock summary to the human report
+//
+// Table values are bit-identical to the individual bench binaries at any
+// --jobs value (the cost model is simulated; the pool only changes
+// wall-clock). The JSON layout keeps everything that varies between runs
+// (wall_ms, jobs, host concurrency) outside "tables", so
+// `jq .tables` output is byte-stable and CI diffs it against the committed
+// BENCH_pr3.json baseline.
+//
+// docs/PAPER_MAP.md maps each table emitted here back to the paper.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/flags.h"
+#include "src/attacks/ripe.h"
+#include "src/core/scheme.h"
+#include "src/support/stats.h"
+#include "src/support/table.h"
+#include "src/workloads/measure.h"
+
+namespace {
+
+using cpi::Table;
+using cpi::core::Config;
+using cpi::core::Protection;
+using cpi::core::ProtectionScheme;
+using cpi::runtime::StoreKind;
+using cpi::workloads::CellResult;
+using cpi::workloads::MeasureCell;
+using cpi::workloads::Measurement;
+using cpi::workloads::Workload;
+
+class Stopwatch {
+ public:
+  double Ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_ = Clock::now();
+};
+
+const char* SchemeName(Protection p) { return cpi::core::SchemeRegistry::Get(p).name(); }
+
+// ---------------------------------------------------------------------------
+// Per-table data, reduced once and rendered twice (human table / JSON).
+
+struct OverheadTable {  // table1 / table3 / table4 / fig4 shape
+  std::vector<const Measurement*> rows;
+  std::vector<Protection> columns;
+};
+
+struct Fig5Row {
+  const ProtectionScheme* scheme = nullptr;
+  int hijacked = 0;
+  int attacks = 0;
+  bool some_fail = false;
+  bool has_overhead = false;
+  double avg_overhead_pct = 0;
+};
+
+struct AblationIsolation {
+  std::vector<std::string> workloads;
+  // column name -> per-workload overheads (column order fixed below)
+  std::vector<std::pair<std::string, std::vector<double>>> columns;
+};
+
+struct AblationMpx {
+  std::vector<std::string> workloads;
+  std::vector<double> software_pct;
+  std::vector<double> mpx_pct;
+};
+
+struct RipeRow {
+  const ProtectionScheme* scheme = nullptr;
+  int counts[4] = {0, 0, 0, 0};  // AttackOutcome order
+};
+
+struct MemStoreRow {
+  StoreKind store;
+  std::map<Protection, double> median_overhead_pct;
+  std::map<Protection, double> median_safe_store_bytes;
+};
+
+// ---------------------------------------------------------------------------
+// JSON emission. Percents use %.3f like the standalone binaries.
+
+void JsonOverheadMap(const Measurement& m, const std::vector<Protection>& columns) {
+  std::printf("\"overhead_pct\":{");
+  bool first = true;
+  for (Protection p : columns) {
+    if (m.status.count(p) != 0 && m.status.at(p) != cpi::vm::RunStatus::kOk) {
+      continue;
+    }
+    std::printf("%s\"%s\":%.3f", first ? "" : ",", SchemeName(p), m.overhead_pct.at(p));
+    first = false;
+  }
+  std::printf("}");
+}
+
+void JsonFailList(const Measurement& m, const std::vector<Protection>& columns) {
+  std::printf("\"fails\":[");
+  bool first = true;
+  for (Protection p : columns) {
+    if (m.status.count(p) != 0 && m.status.at(p) != cpi::vm::RunStatus::kOk) {
+      std::printf("%s\"%s\"", first ? "" : ",", SchemeName(p));
+      first = false;
+    }
+  }
+  std::printf("]");
+}
+
+void JsonOverheadTable(const OverheadTable& t, bool lang, bool fails) {
+  std::printf("{\"rows\":[");
+  for (size_t i = 0; i < t.rows.size(); ++i) {
+    const Measurement& m = *t.rows[i];
+    std::printf("%s{\"workload\":\"%s\",", i == 0 ? "" : ",", m.workload.c_str());
+    if (lang) {
+      std::printf("\"lang\":\"%s\",", m.language.c_str());
+    }
+    JsonOverheadMap(m, t.columns);
+    if (fails) {
+      std::printf(",");
+      JsonFailList(m, t.columns);
+    }
+    std::printf("}");
+  }
+  std::printf("]}");
+}
+
+// ---------------------------------------------------------------------------
+// Human rendering.
+
+void PrintOverheadTable(const char* title, const OverheadTable& t, bool lang) {
+  std::printf("%s\n\n", title);
+  std::vector<std::string> header = {"Benchmark"};
+  if (lang) {
+    header.push_back("Lang");
+  }
+  for (Protection p : t.columns) {
+    header.push_back(SchemeName(p));
+  }
+  Table table(header);
+  for (const Measurement* m : t.rows) {
+    std::vector<std::string> row = {m->workload};
+    if (lang) {
+      row.push_back(m->language);
+    }
+    for (Protection p : t.columns) {
+      if (m->status.count(p) != 0 && m->status.at(p) != cpi::vm::RunStatus::kOk) {
+        row.push_back("fails");
+      } else {
+        row.push_back(Table::FormatPercent(m->overhead_pct.at(p)));
+      }
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cpi::bench::Flags flags = cpi::bench::Parse(argc, argv);
+  const Stopwatch total;
+  std::map<std::string, double> table_wall_ms;
+
+  const std::vector<Protection> overhead_protections = cpi::workloads::OverheadProtections();
+
+  // -------------------------------------------------------------------------
+  // Shared builds + the SPEC sweep. One frontend build per SPEC workload
+  // serves Table 1, Table 2, Table 3, Fig. 5's subset, both ablations and
+  // the §5.2 memory sweep. The measurement adds the SoftBound column to the
+  // overhead schemes so Table 3 falls out of the same sweep.
+  Stopwatch spec_watch;
+  const auto& spec = cpi::workloads::SpecCpu2006();
+  const auto spec_built = cpi::workloads::BuildWorkloads(spec, flags.scale, flags.jobs);
+  const auto spec_views = cpi::workloads::ModuleViews(spec_built);
+
+  std::vector<Protection> spec_protections = overhead_protections;
+  spec_protections.push_back(Protection::kSoftBound);
+  const auto spec_ms = cpi::workloads::MeasureWorkloads(spec, spec_views,
+                                                        spec_protections, {}, flags.jobs);
+
+  OverheadTable table1;
+  table1.columns = overhead_protections;
+  for (const auto& m : spec_ms) {
+    table1.rows.push_back(&m);
+  }
+  table_wall_ms["table1_spec_overhead"] = spec_watch.Ms();
+
+  OverheadTable table3;
+  table3.columns = spec_protections;
+  table3.rows = table1.rows;
+
+  // -------------------------------------------------------------------------
+  // Table 2: static compilation statistics from the vanilla-cell stats of
+  // the shared sweep (the classification defaults match the standalone
+  // bench).
+  table_wall_ms["table2_compile_stats"] = 0;  // amortised into the SPEC sweep
+
+  // -------------------------------------------------------------------------
+  // Ablations on the shared builds. The "segment" / "software" columns are
+  // plain CPI, already measured by the SPEC sweep; only the variant
+  // configurations add cells.
+  Stopwatch iso_watch;
+  const std::vector<std::pair<std::string, Config>> iso_variants = [] {
+    Config info;
+    info.protection = Protection::kCpi;
+    info.isolation = cpi::runtime::IsolationKind::kInfoHiding;
+    Config sfi;
+    sfi.protection = Protection::kCpi;
+    sfi.isolation = cpi::runtime::IsolationKind::kSfi;
+    return std::vector<std::pair<std::string, Config>>{{"info-hiding", info},
+                                                       {"sfi", sfi}};
+  }();
+  std::vector<MeasureCell> iso_cells;
+  for (size_t wi = 0; wi < spec.size(); ++wi) {
+    for (const auto& [name, config] : iso_variants) {
+      MeasureCell cell;
+      cell.workload = wi;
+      cell.config = config;
+      iso_cells.push_back(cell);
+    }
+  }
+  const auto iso_results = cpi::workloads::RunCells(spec, spec_views, iso_cells, flags.jobs);
+
+  AblationIsolation iso;
+  iso.columns = {{"segment", {}}, {"info-hiding", {}}, {"sfi", {}}};
+  for (size_t wi = 0; wi < spec.size(); ++wi) {
+    iso.workloads.push_back(spec[wi].name);
+    iso.columns[0].second.push_back(spec_ms[wi].OverheadPct(Protection::kCpi));
+    for (size_t vi = 0; vi < iso_variants.size(); ++vi) {
+      const CellResult& r = iso_results[wi * iso_variants.size() + vi];
+      CPI_CHECK(r.status == cpi::vm::RunStatus::kOk);
+      iso.columns[1 + vi].second.push_back(cpi::OverheadPercent(
+          static_cast<double>(r.cycles), static_cast<double>(spec_ms[wi].vanilla_cycles)));
+    }
+  }
+  table_wall_ms["ablation_isolation"] = iso_watch.Ms();
+
+  Stopwatch mpx_watch;
+  std::vector<MeasureCell> mpx_cells;
+  for (size_t wi = 0; wi < spec.size(); ++wi) {
+    MeasureCell cell;
+    cell.workload = wi;
+    cell.config.protection = Protection::kCpi;
+    cell.config.mpx_assist = true;
+    mpx_cells.push_back(cell);
+  }
+  const auto mpx_results = cpi::workloads::RunCells(spec, spec_views, mpx_cells, flags.jobs);
+
+  AblationMpx mpx;
+  for (size_t wi = 0; wi < spec.size(); ++wi) {
+    CPI_CHECK(mpx_results[wi].status == cpi::vm::RunStatus::kOk);
+    mpx.workloads.push_back(spec[wi].name);
+    mpx.software_pct.push_back(spec_ms[wi].OverheadPct(Protection::kCpi));
+    mpx.mpx_pct.push_back(
+        cpi::OverheadPercent(static_cast<double>(mpx_results[wi].cycles),
+                             static_cast<double>(spec_ms[wi].vanilla_cycles)));
+  }
+  table_wall_ms["ablation_mpx"] = mpx_watch.Ms();
+
+  // -------------------------------------------------------------------------
+  // §5.2 memory sweep on the shared builds (vanilla footprints come from
+  // the SPEC sweep's baseline cells).
+  Stopwatch mem_watch;
+  const std::vector<StoreKind> stores = {StoreKind::kHash, StoreKind::kTwoLevel,
+                                         StoreKind::kArray};
+  std::vector<MeasureCell> mem_cells;
+  for (StoreKind store : stores) {
+    for (size_t wi = 0; wi < spec.size(); ++wi) {
+      for (Protection p : overhead_protections) {
+        MeasureCell cell;
+        cell.workload = wi;
+        cell.config.protection = p;
+        cell.config.store = store;
+        mem_cells.push_back(cell);
+      }
+    }
+  }
+  const auto mem_results = cpi::workloads::RunCells(spec, spec_views, mem_cells, flags.jobs);
+
+  std::vector<MemStoreRow> mem_rows;
+  {
+    size_t ci = 0;
+    for (StoreKind store : stores) {
+      std::map<Protection, std::vector<double>> overheads;
+      std::map<Protection, std::vector<double>> store_bytes;
+      for (size_t wi = 0; wi < spec.size(); ++wi) {
+        const double base_mem = static_cast<double>(spec_ms[wi].vanilla_memory_bytes);
+        for (Protection p : overhead_protections) {
+          const CellResult& r = mem_results[ci++];
+          CPI_CHECK(r.status == cpi::vm::RunStatus::kOk);
+          overheads[p].push_back(
+              cpi::OverheadPercent(static_cast<double>(r.memory_bytes), base_mem));
+          store_bytes[p].push_back(static_cast<double>(r.safe_store_bytes));
+        }
+      }
+      MemStoreRow row;
+      row.store = store;
+      for (Protection p : overhead_protections) {
+        row.median_overhead_pct[p] = cpi::Median(overheads[p]);
+        row.median_safe_store_bytes[p] = cpi::Median(store_bytes[p]);
+      }
+      mem_rows.push_back(row);
+    }
+  }
+  table_wall_ms["mem_overhead"] = mem_watch.Ms();
+
+  // -------------------------------------------------------------------------
+  // Fig. 4 (Phoronix) and Table 4 (web server) — their own workload sets,
+  // built once each.
+  Stopwatch fig4_watch;
+  const auto phoronix_ms = cpi::workloads::MeasureWorkloads(
+      cpi::workloads::Phoronix(), overhead_protections, flags.scale, {}, flags.jobs);
+  OverheadTable fig4;
+  fig4.columns = overhead_protections;
+  for (const auto& m : phoronix_ms) {
+    fig4.rows.push_back(&m);
+  }
+  table_wall_ms["fig4_phoronix"] = fig4_watch.Ms();
+
+  Stopwatch table4_watch;
+  const auto web_ms = cpi::workloads::MeasureWorkloads(
+      cpi::workloads::WebServer(), overhead_protections, flags.scale, {}, flags.jobs);
+  OverheadTable table4;
+  table4.columns = overhead_protections;
+  for (const auto& m : web_ms) {
+    table4.rows.push_back(&m);
+  }
+  table_wall_ms["table4_webserver"] = table4_watch.Ms();
+
+  // -------------------------------------------------------------------------
+  // §5.1 RIPE matrix (one row per registry RipeRow) and Fig. 5 (defense
+  // rows: matrix verdict + average overhead on the Table-3 subset).
+  Stopwatch ripe_watch;
+  std::vector<RipeRow> ripe_rows;
+  int ripe_attacks = 0;
+  for (const ProtectionScheme* s : cpi::core::SchemeRegistry::RipeRows()) {
+    Config config;
+    config.protection = s->id();
+    RipeRow row;
+    row.scheme = s;
+    ripe_attacks = 0;
+    for (const auto& r : cpi::attacks::RunAttackMatrix(config, flags.jobs)) {
+      ++row.counts[static_cast<int>(r.outcome)];
+      ++ripe_attacks;
+    }
+    ripe_rows.push_back(row);
+  }
+  table_wall_ms["ripe_effectiveness"] = ripe_watch.Ms();
+
+  Stopwatch fig5_watch;
+  const std::vector<std::string> fig5_subset = {"401.bzip2", "447.dealII", "458.sjeng",
+                                                "464.h264ref"};
+  std::vector<size_t> fig5_indices;
+  for (size_t wi = 0; wi < spec.size(); ++wi) {
+    for (const auto& name : fig5_subset) {
+      if (spec[wi].name == name) {
+        fig5_indices.push_back(wi);
+      }
+    }
+  }
+  // Defense rows not covered by the SPEC sweep (cookies, CFI) get their own
+  // cells against the shared subset builds.
+  const auto defense_rows = cpi::core::SchemeRegistry::DefenseRows();
+  std::vector<Protection> extra_protections;
+  for (const ProtectionScheme* s : defense_rows) {
+    bool covered = false;
+    for (Protection p : spec_protections) {
+      covered = covered || p == s->id();
+    }
+    if (!covered) {
+      extra_protections.push_back(s->id());
+    }
+  }
+  std::vector<Workload> subset_workloads;
+  std::vector<const cpi::ir::Module*> subset_views;
+  for (size_t wi : fig5_indices) {
+    subset_workloads.push_back(spec[wi]);
+    subset_views.push_back(spec_views[wi]);
+  }
+  const auto subset_ms = cpi::workloads::MeasureWorkloads(
+      subset_workloads, subset_views, extra_protections, {}, flags.jobs);
+
+  std::vector<Fig5Row> fig5_rows;
+  for (const ProtectionScheme* s : defense_rows) {
+    Fig5Row row;
+    row.scheme = s;
+    // Matrix verdict: reuse the RIPE rows where possible (every built-in
+    // defense row is also a RIPE row), so the matrix runs once per scheme
+    // in the whole suite; a defense-only scheme gets its own matrix run
+    // rather than a silent hijacked=0 default.
+    bool have_matrix = false;
+    for (const RipeRow& r : ripe_rows) {
+      if (r.scheme->id() == s->id()) {
+        row.hijacked = r.counts[0];
+        row.attacks = r.counts[0] + r.counts[1] + r.counts[2] + r.counts[3];
+        have_matrix = true;
+      }
+    }
+    if (!have_matrix) {
+      Config config;
+      config.protection = s->id();
+      for (const auto& r : cpi::attacks::RunAttackMatrix(config, flags.jobs)) {
+        ++row.attacks;
+        if (r.Hijacked()) {
+          ++row.hijacked;
+        }
+      }
+    }
+    std::vector<double> overheads;
+    const bool from_spec =
+        std::count(spec_protections.begin(), spec_protections.end(), s->id()) > 0;
+    for (size_t k = 0; k < fig5_indices.size(); ++k) {
+      const Measurement& m = from_spec ? spec_ms[fig5_indices[k]] : subset_ms[k];
+      if (m.status.at(s->id()) != cpi::vm::RunStatus::kOk) {
+        row.some_fail = true;
+        continue;
+      }
+      overheads.push_back(m.overhead_pct.at(s->id()));
+    }
+    if (!overheads.empty()) {
+      row.has_overhead = true;
+      row.avg_overhead_pct = cpi::Mean(overheads);
+    }
+    fig5_rows.push_back(row);
+  }
+  table_wall_ms["fig5_defense_matrix"] = fig5_watch.Ms();
+
+  const double wall_ms = total.Ms();
+
+  // -------------------------------------------------------------------------
+  // JSON report.
+  if (flags.json) {
+    std::printf("{\"bench\":\"suite\",\"scale\":%d,\"jobs\":%d,"
+                "\"hardware_concurrency\":%d,\"wall_ms\":%.1f,\"table_wall_ms\":{",
+                flags.scale, flags.jobs, cpi::ThreadPool::DefaultJobs(), wall_ms);
+    {
+      bool first = true;
+      for (const auto& [name, ms] : table_wall_ms) {
+        std::printf("%s\"%s\":%.1f", first ? "" : ",", name.c_str(), ms);
+        first = false;
+      }
+    }
+    std::printf("},\"tables\":{");
+
+    std::printf("\"table1_spec_overhead\":");
+    JsonOverheadTable(table1, /*lang=*/true, /*fails=*/false);
+
+    std::printf(",\"table2_compile_stats\":{\"rows\":[");
+    for (size_t i = 0; i < spec_ms.size(); ++i) {
+      const Measurement& m = spec_ms[i];
+      std::printf("%s{\"workload\":\"%s\",\"lang\":\"%s\",\"fnustack_pct\":%.3f,"
+                  "\"mocps_pct\":%.3f,\"mocpi_pct\":%.3f}",
+                  i == 0 ? "" : ",", m.workload.c_str(), m.language.c_str(),
+                  m.stats.FnuStackPercent(), m.stats.MoCpsPercent(),
+                  m.stats.MoCpiPercent());
+    }
+    std::printf("]}");
+
+    std::printf(",\"table3_softbound\":");
+    JsonOverheadTable(table3, /*lang=*/false, /*fails=*/true);
+
+    std::printf(",\"table4_webserver\":");
+    JsonOverheadTable(table4, /*lang=*/false, /*fails=*/false);
+
+    std::printf(",\"fig4_phoronix\":");
+    JsonOverheadTable(fig4, /*lang=*/false, /*fails=*/false);
+
+    std::printf(",\"fig5_defense_matrix\":{\"rows\":[");
+    for (size_t i = 0; i < fig5_rows.size(); ++i) {
+      const Fig5Row& r = fig5_rows[i];
+      std::printf("%s{\"name\":\"%s\",\"mechanism\":\"%s\",\"hijacked\":%d,"
+                  "\"attacks\":%d,\"stops_all\":%s,\"some_fail\":%s,"
+                  "\"avg_overhead_pct\":",
+                  i == 0 ? "" : ",", r.scheme->name(), r.scheme->description(),
+                  r.hijacked, r.attacks, r.hijacked == 0 ? "true" : "false",
+                  r.some_fail ? "true" : "false");
+      if (r.has_overhead) {
+        std::printf("%.3f}", r.avg_overhead_pct);
+      } else {
+        std::printf("null}");
+      }
+    }
+    std::printf("]}");
+
+    std::printf(",\"ablation_isolation\":{\"rows\":[");
+    for (size_t wi = 0; wi < iso.workloads.size(); ++wi) {
+      std::printf("%s{\"workload\":\"%s\",\"overhead_pct\":{", wi == 0 ? "" : ",",
+                  iso.workloads[wi].c_str());
+      for (size_t c = 0; c < iso.columns.size(); ++c) {
+        std::printf("%s\"%s\":%.3f", c == 0 ? "" : ",", iso.columns[c].first.c_str(),
+                    iso.columns[c].second[wi]);
+      }
+      std::printf("}}");
+    }
+    std::printf("],\"average\":{");
+    for (size_t c = 0; c < iso.columns.size(); ++c) {
+      std::printf("%s\"%s\":%.3f", c == 0 ? "" : ",", iso.columns[c].first.c_str(),
+                  cpi::Mean(iso.columns[c].second));
+    }
+    std::printf("}}");
+
+    std::printf(",\"ablation_mpx\":{\"rows\":[");
+    for (size_t wi = 0; wi < mpx.workloads.size(); ++wi) {
+      std::printf("%s{\"workload\":\"%s\",\"software_pct\":%.3f,\"mpx_pct\":%.3f}",
+                  wi == 0 ? "" : ",", mpx.workloads[wi].c_str(), mpx.software_pct[wi],
+                  mpx.mpx_pct[wi]);
+    }
+    std::printf("],\"average\":{\"software_pct\":%.3f,\"mpx_pct\":%.3f}}",
+                cpi::Mean(mpx.software_pct), cpi::Mean(mpx.mpx_pct));
+
+    std::printf(",\"ripe_effectiveness\":{\"attacks\":%d,\"rows\":[", ripe_attacks);
+    for (size_t i = 0; i < ripe_rows.size(); ++i) {
+      const RipeRow& r = ripe_rows[i];
+      std::printf("%s{\"name\":\"%s\",\"hijacked\":%d,\"prevented\":%d,"
+                  "\"crashed\":%d,\"no_effect\":%d}",
+                  i == 0 ? "" : ",", r.scheme->name(), r.counts[0], r.counts[1],
+                  r.counts[2], r.counts[3]);
+    }
+    std::printf("]}");
+
+    std::printf(",\"mem_overhead\":{\"stores\":[");
+    for (size_t i = 0; i < mem_rows.size(); ++i) {
+      std::printf("%s{\"store\":\"%s\",\"median_overhead_pct\":{", i == 0 ? "" : ",",
+                  cpi::runtime::StoreKindName(mem_rows[i].store));
+      for (size_t j = 0; j < overhead_protections.size(); ++j) {
+        const Protection p = overhead_protections[j];
+        std::printf("%s\"%s\":%.3f", j == 0 ? "" : ",", SchemeName(p),
+                    mem_rows[i].median_overhead_pct.at(p));
+      }
+      std::printf("},\"median_safe_store_bytes\":{");
+      for (size_t j = 0; j < overhead_protections.size(); ++j) {
+        const Protection p = overhead_protections[j];
+        std::printf("%s\"%s\":%.0f", j == 0 ? "" : ",", SchemeName(p),
+                    mem_rows[i].median_safe_store_bytes.at(p));
+      }
+      std::printf("}}");
+    }
+    std::printf("]}");
+
+    std::printf("}}\n");
+    return 0;
+  }
+
+  // -------------------------------------------------------------------------
+  // Human report.
+  std::printf("Unified bench suite — all paper tables, one process "
+              "(scale %d, jobs %d)\n\n",
+              flags.scale, flags.jobs);
+
+  std::printf("Table 1 / Fig. 3 — SPEC CPU2006 performance overhead\n\n");
+  {
+    std::vector<std::string> header = {"Benchmark", "Lang"};
+    for (Protection p : table1.columns) {
+      header.push_back(SchemeName(p));
+    }
+    Table t(header);
+    for (const Measurement* m : table1.rows) {
+      std::vector<std::string> row = {m->workload, m->language};
+      for (Protection p : table1.columns) {
+        row.push_back(Table::FormatPercent(m->OverheadPct(p)));
+      }
+      t.AddRow(row);
+    }
+    t.AddSeparator();
+    // The paper's headline summary rows, matching the standalone binary.
+    const struct {
+      const char* label;
+      const char* language;  // "" = all
+      double (*reduce)(const std::vector<double>&);
+    } summaries[] = {
+        {"Average (C/C++)", "", +[](const std::vector<double>& xs) { return cpi::Mean(xs); }},
+        {"Median (C/C++)", "", +[](const std::vector<double>& xs) { return cpi::Median(xs); }},
+        {"Maximum (C/C++)", "", +[](const std::vector<double>& xs) { return cpi::Max(xs); }},
+        {"Average (C only)", "C", +[](const std::vector<double>& xs) { return cpi::Mean(xs); }},
+        {"Median (C only)", "C", +[](const std::vector<double>& xs) { return cpi::Median(xs); }},
+        {"Maximum (C only)", "C", +[](const std::vector<double>& xs) { return cpi::Max(xs); }},
+    };
+    for (const auto& s : summaries) {
+      std::vector<std::string> row = {s.label, ""};
+      for (Protection p : table1.columns) {
+        const std::vector<double> xs =
+            s.language[0] == '\0'
+                ? cpi::workloads::OverheadColumn(spec_ms, p)
+                : cpi::workloads::OverheadColumnForLanguage(spec_ms, p, s.language);
+        row.push_back(Table::FormatPercent(s.reduce(xs)));
+      }
+      t.AddRow(row);
+    }
+    t.Print();
+    std::printf("\n");
+  }
+
+  std::printf("Table 2 — Levee compilation statistics\n\n");
+  {
+    Table t({"Benchmark", "Lang", "FNUStack", "MOCPS", "MOCPI"});
+    for (const auto& m : spec_ms) {
+      t.AddRow({m.workload, m.language, Table::FormatPercent(m.stats.FnuStackPercent()),
+                Table::FormatPercent(m.stats.MoCpsPercent()),
+                Table::FormatPercent(m.stats.MoCpiPercent())});
+    }
+    t.Print();
+    std::printf("\n");
+  }
+
+  PrintOverheadTable("Table 3 — Levee vs SoftBound-style full memory safety", table3,
+                     /*lang=*/false);
+  PrintOverheadTable("Table 4 — web-server stack throughput overhead", table4,
+                     /*lang=*/false);
+  PrintOverheadTable("Fig. 4 — Phoronix suite performance overhead", fig4,
+                     /*lang=*/false);
+
+  std::printf("Fig. 5 — control-flow hijack defense mechanisms\n\n");
+  {
+    Table t({"Mechanism", "Stops all control-flow hijacks?", "Avg overhead"});
+    for (const Fig5Row& r : fig5_rows) {
+      std::string verdict = r.hijacked == 0
+                                ? "Yes"
+                                : "No: " + std::to_string(r.hijacked) + "/" +
+                                      std::to_string(r.attacks) + " attacks still hijack";
+      std::string overhead =
+          r.has_overhead ? Table::FormatPercent(r.avg_overhead_pct) : std::string("n/a");
+      if (r.some_fail) {
+        overhead += " (some fail)";
+      }
+      t.AddRow({r.scheme->description(), verdict, overhead});
+    }
+    t.Print();
+    std::printf("\n");
+  }
+
+  std::printf("Ablation (§3.2.3) — isolation mechanism cost under CPI\n\n");
+  {
+    Table t({"Benchmark", "segment", "info-hiding", "sfi"});
+    for (size_t wi = 0; wi < iso.workloads.size(); ++wi) {
+      t.AddRow({iso.workloads[wi], Table::FormatPercent(iso.columns[0].second[wi]),
+                Table::FormatPercent(iso.columns[1].second[wi]),
+                Table::FormatPercent(iso.columns[2].second[wi])});
+    }
+    t.AddSeparator();
+    t.AddRow({"Average", Table::FormatPercent(cpi::Mean(iso.columns[0].second)),
+              Table::FormatPercent(cpi::Mean(iso.columns[1].second)),
+              Table::FormatPercent(cpi::Mean(iso.columns[2].second))});
+    t.Print();
+    std::printf("\n");
+  }
+
+  std::printf("Ablation (§4) — projected hardware-assisted (MPX-style) CPI\n\n");
+  {
+    Table t({"Benchmark", "CPI (software)", "CPI (MPX-assisted)"});
+    for (size_t wi = 0; wi < mpx.workloads.size(); ++wi) {
+      t.AddRow({mpx.workloads[wi], Table::FormatPercent(mpx.software_pct[wi]),
+                Table::FormatPercent(mpx.mpx_pct[wi])});
+    }
+    t.AddSeparator();
+    t.AddRow({"Average", Table::FormatPercent(cpi::Mean(mpx.software_pct)),
+              Table::FormatPercent(cpi::Mean(mpx.mpx_pct))});
+    t.Print();
+    std::printf("\n");
+  }
+
+  std::printf("RIPE-style attack matrix (§5.1): %d attack combinations\n\n", ripe_attacks);
+  {
+    Table t({"Protection", "Hijacked", "Prevented", "Crashed", "No effect"});
+    for (const RipeRow& r : ripe_rows) {
+      t.AddRow({r.scheme->name(), std::to_string(r.counts[0]),
+                std::to_string(r.counts[1]), std::to_string(r.counts[2]),
+                std::to_string(r.counts[3])});
+    }
+    t.Print();
+    std::printf("\n");
+  }
+
+  std::printf("§5.2 — memory overhead of the safe region (median over SPEC models)\n\n");
+  {
+    std::vector<std::string> header = {"Configuration"};
+    for (Protection p : overhead_protections) {
+      header.push_back(SchemeName(p));
+    }
+    Table t(header);
+    for (const auto& row : mem_rows) {
+      std::vector<std::string> cells = {std::string("store = ") +
+                                        cpi::runtime::StoreKindName(row.store)};
+      for (Protection p : overhead_protections) {
+        cells.push_back(Table::FormatPercent(row.median_overhead_pct.at(p)));
+      }
+      t.AddRow(cells);
+    }
+    t.Print();
+
+    std::printf("\nMedian resident safe-store bytes (runtime shape per scheme):\n\n");
+    Table bytes_table(header);
+    for (const auto& row : mem_rows) {
+      std::vector<std::string> cells = {std::string("store = ") +
+                                        cpi::runtime::StoreKindName(row.store)};
+      for (Protection p : overhead_protections) {
+        cells.push_back(std::to_string(
+            static_cast<uint64_t>(row.median_safe_store_bytes.at(p))));
+      }
+      bytes_table.AddRow(cells);
+    }
+    bytes_table.Print();
+    std::printf("\n");
+  }
+
+  if (flags.timing) {
+    std::printf("wall-clock: %.1f ms total (scale %d, jobs %d)\n", wall_ms, flags.scale,
+                flags.jobs);
+    for (const auto& [name, ms] : table_wall_ms) {
+      std::printf("  %-22s %8.1f ms\n", name.c_str(), ms);
+    }
+  }
+  return 0;
+}

@@ -10,9 +10,8 @@
 // CPS but pays sign/authenticate latency instead of safe-region traffic.
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
+#include "bench/flags.h"
 #include "src/core/scheme.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
@@ -50,7 +49,7 @@ void PrintJson(const std::vector<Measurement>& ms,
                 i == 0 ? "" : ",", ms[i].workload.c_str(), ms[i].language.c_str());
     for (size_t j = 0; j < schemes.size(); ++j) {
       std::printf("%s\"%s\":%.3f", j == 0 ? "" : ",", schemes[j]->name(),
-                  ms[i].overhead_pct.at(schemes[j]->id()));
+                  ms[i].OverheadPct(schemes[j]->id()));
     }
     std::printf("}}");
   }
@@ -60,32 +59,18 @@ void PrintJson(const std::vector<Measurement>& ms,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false;
-  bool timing = false;
-  int scale = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--time") == 0) {
-      timing = true;
-    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
-      scale = std::atoi(argv[++i]);
-    }
-  }
-  if (scale < 1) {
-    std::fprintf(stderr, "invalid --scale; using 1\n");
-    scale = 1;
-  }
+  const cpi::bench::Flags flags = cpi::bench::Parse(argc, argv);
 
   const auto schemes = cpi::core::SchemeRegistry::OverheadColumns();
   const auto start = std::chrono::steady_clock::now();
   const auto measurements = cpi::workloads::MeasureWorkloads(
-      cpi::workloads::SpecCpu2006(), cpi::workloads::OverheadProtections(), scale);
+      cpi::workloads::SpecCpu2006(), cpi::workloads::OverheadProtections(), flags.scale,
+      {}, flags.jobs);
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
 
-  if (json) {
+  if (flags.json) {
     PrintJson(measurements, schemes, wall_ms);
     return 0;
   }
@@ -101,7 +86,7 @@ int main(int argc, char** argv) {
   for (const auto& m : measurements) {
     std::vector<std::string> row = {m.workload, m.language};
     for (const ProtectionScheme* s : schemes) {
-      row.push_back(cpi::Table::FormatPercent(m.overhead_pct.at(s->id())));
+      row.push_back(cpi::Table::FormatPercent(m.OverheadPct(s->id())));
     }
     table.AddRow(row);
   }
@@ -118,9 +103,10 @@ int main(int argc, char** argv) {
               "C-only averages -0.4%% / 1.2%% / 2.9%%. Expect the same ordering and the\n"
               "C++ rows (omnetpp, xalancbmk, dealII) dominating CPI. PtrEnc has no paper\n"
               "counterpart; expect it near CPS (same instrumented ops, PAC-style costs).\n");
-  if (timing) {
-    std::printf("\nwall-clock: %.1f ms (build + instrument + run, all columns, scale %d)\n",
-                wall_ms, scale);
+  if (flags.timing) {
+    std::printf("\nwall-clock: %.1f ms (build + instrument + run, all columns, "
+                "scale %d, jobs %d)\n",
+                wall_ms, flags.scale, flags.jobs);
   }
   return 0;
 }

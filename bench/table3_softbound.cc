@@ -7,15 +7,17 @@
 // violations); those rows are reported as "fails".
 #include <cstdio>
 
+#include "bench/flags.h"
 #include "src/core/scheme.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
 #include "src/workloads/measure.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cpi::bench::Flags flags = cpi::bench::Parse(argc, argv);
+
   std::printf("Table 3 — Levee vs SoftBound-style full memory safety\n\n");
 
-  using cpi::core::Config;
   using cpi::core::Protection;
   using cpi::core::ProtectionScheme;
 
@@ -25,6 +27,15 @@ int main() {
       cpi::core::SchemeRegistry::OverheadColumns();
   schemes.push_back(&cpi::core::SchemeRegistry::Get(Protection::kSoftBound));
 
+  std::vector<Protection> protections;
+  for (const ProtectionScheme* s : schemes) {
+    protections.push_back(s->id());
+  }
+
+  const auto& workloads = cpi::workloads::SpecCpu2006();
+  const auto measurements = cpi::workloads::MeasureWorkloads(
+      workloads, protections, flags.scale, {}, flags.jobs);
+
   std::vector<std::string> header = {"Benchmark"};
   for (const ProtectionScheme* s : schemes) {
     header.push_back(s->name());
@@ -32,31 +43,17 @@ int main() {
   cpi::Table table(header);
   int softbound_failures = 0;
 
-  for (const auto& w : cpi::workloads::SpecCpu2006()) {
-    // Vanilla baseline.
-    Config vanilla;
-    auto base_module = w.build(1);
-    cpi::core::Compiler base_compiler(vanilla);
-    base_compiler.Instrument(*base_module);
-    auto base = cpi::core::Run(*base_module, vanilla, w.input);
-    CPI_CHECK(base.status == cpi::vm::RunStatus::kOk);
-    const double base_cycles = static_cast<double>(base.counters.cycles);
-
-    std::vector<std::string> row = {w.name};
+  for (const auto& m : measurements) {
+    std::vector<std::string> row = {m.workload};
     for (const ProtectionScheme* s : schemes) {
-      Config config;
-      config.protection = s->id();
-      auto module = w.build(1);
-      auto r = cpi::core::InstrumentAndRun(*module, config, w.input);
-      if (r.status != cpi::vm::RunStatus::kOk) {
+      if (m.status.at(s->id()) != cpi::vm::RunStatus::kOk) {
         if (s->id() == Protection::kSoftBound) {
           ++softbound_failures;
         }
         row.push_back("fails");
         continue;
       }
-      row.push_back(cpi::Table::FormatPercent(
-          cpi::OverheadPercent(static_cast<double>(r.counters.cycles), base_cycles)));
+      row.push_back(cpi::Table::FormatPercent(m.overhead_pct.at(s->id())));
     }
     table.AddRow(row);
   }

@@ -8,17 +8,21 @@
 // everything else (paper: 138.8%).
 #include <cstdio>
 
+#include "bench/flags.h"
 #include "src/core/scheme.h"
 #include "src/support/table.h"
 #include "src/workloads/measure.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cpi::bench::Flags flags = cpi::bench::Parse(argc, argv);
+
   std::printf("Table 4 — web-server stack throughput overhead\n\n");
 
   using cpi::core::ProtectionScheme;
   const auto schemes = cpi::core::SchemeRegistry::OverheadColumns();
   const auto measurements = cpi::workloads::MeasureWorkloads(
-      cpi::workloads::WebServer(), cpi::workloads::OverheadProtections(), /*scale=*/1);
+      cpi::workloads::WebServer(), cpi::workloads::OverheadProtections(), flags.scale,
+      {}, flags.jobs);
 
   std::vector<std::string> header = {"Benchmark"};
   for (const ProtectionScheme* s : schemes) {
@@ -28,7 +32,7 @@ int main() {
   for (const auto& m : measurements) {
     std::vector<std::string> row = {m.workload};
     for (const ProtectionScheme* s : schemes) {
-      row.push_back(cpi::Table::FormatPercent(m.overhead_pct.at(s->id())));
+      row.push_back(cpi::Table::FormatPercent(m.OverheadPct(s->id())));
     }
     table.AddRow(row);
   }

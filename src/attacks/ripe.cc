@@ -2,6 +2,7 @@
 
 #include "src/ir/builder.h"
 #include "src/support/check.h"
+#include "src/support/pool.h"
 #include "src/vm/layout.h"
 
 namespace cpi::attacks {
@@ -542,11 +543,12 @@ AttackResult RunAttack(const AttackSpec& spec, const core::Config& config) {
   return result;
 }
 
-std::vector<AttackResult> RunAttackMatrix(const core::Config& config) {
-  std::vector<AttackResult> results;
-  for (const AttackSpec& spec : GenerateAttackMatrix()) {
-    results.push_back(RunAttack(spec, config));
-  }
+std::vector<AttackResult> RunAttackMatrix(const core::Config& config, int jobs) {
+  const std::vector<AttackSpec> specs = GenerateAttackMatrix();
+  std::vector<AttackResult> results(specs.size());
+  ThreadPool pool(jobs);
+  pool.ParallelFor(specs.size(),
+                   [&](size_t i) { results[i] = RunAttack(specs[i], config); });
   return results;
 }
 

@@ -90,8 +90,10 @@ std::unique_ptr<ir::Module> BuildAttackProgram(const AttackSpec& spec);
 // Runs one attack under the given protection configuration.
 AttackResult RunAttack(const AttackSpec& spec, const core::Config& config);
 
-// Runs the whole matrix; returns one result per attack.
-std::vector<AttackResult> RunAttackMatrix(const core::Config& config);
+// Runs the whole matrix; returns one result per attack, in matrix order.
+// Attacks are independent programs, so `jobs` > 1 runs them across a thread
+// pool; results are identical at any jobs value.
+std::vector<AttackResult> RunAttackMatrix(const core::Config& config, int jobs = 1);
 
 }  // namespace cpi::attacks
 

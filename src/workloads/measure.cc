@@ -1,56 +1,140 @@
 #include "src/workloads/measure.h"
 
+#include <cstdio>
+
 #include "src/ir/clone.h"
+#include "src/support/check.h"
+#include "src/support/pool.h"
 #include "src/support/stats.h"
 
 namespace cpi::workloads {
 
+double Measurement::OverheadPct(core::Protection p) const {
+  const auto it = overhead_pct.find(p);
+  if (it == overhead_pct.end()) {
+    const auto st = status.find(p);
+    std::fprintf(stderr, "workload %s: no overhead for protection %s (status: %s)\n",
+                 workload.c_str(), core::ProtectionName(p),
+                 st == status.end() ? "not measured" : vm::RunStatusName(st->second));
+    CPI_CHECK(it != overhead_pct.end());
+  }
+  return it->second;
+}
+
+std::vector<std::unique_ptr<ir::Module>> BuildWorkloads(
+    const std::vector<Workload>& workloads, int scale, int jobs) {
+  std::vector<std::unique_ptr<ir::Module>> built(workloads.size());
+  ThreadPool pool(jobs);
+  pool.ParallelFor(workloads.size(),
+                   [&](size_t i) { built[i] = workloads[i].build(scale); });
+  return built;
+}
+
+std::vector<const ir::Module*> ModuleViews(
+    const std::vector<std::unique_ptr<ir::Module>>& built) {
+  std::vector<const ir::Module*> views;
+  views.reserve(built.size());
+  for (const auto& m : built) {
+    views.push_back(m.get());
+  }
+  return views;
+}
+
+CellResult RunCell(const ir::Module& built, const Workload& workload,
+                   const MeasureCell& cell) {
+  auto module = ir::CloneModule(built);
+  core::Compiler compiler(cell.config);
+  const core::CompileOutput co = compiler.Instrument(*module);
+  const vm::RunResult r = core::Run(*module, cell.config, workload.input);
+  CellResult out;
+  out.status = r.status;
+  out.cycles = r.counters.cycles;
+  out.memory_bytes = r.memory.TotalBytes();
+  out.safe_store_bytes = r.memory.safe_store_bytes;
+  out.stats = co.stats;
+  return out;
+}
+
+std::vector<CellResult> RunCells(const std::vector<Workload>& workloads,
+                                 const std::vector<const ir::Module*>& built,
+                                 const std::vector<MeasureCell>& cells, int jobs) {
+  CPI_CHECK(workloads.size() == built.size());
+  std::vector<CellResult> results(cells.size());
+  ThreadPool pool(jobs);
+  pool.ParallelFor(cells.size(), [&](size_t i) {
+    const MeasureCell& cell = cells[i];
+    CPI_CHECK(cell.workload < built.size());
+    results[i] = RunCell(*built[cell.workload], workloads[cell.workload], cell);
+  });
+  return results;
+}
+
 std::vector<Measurement> MeasureWorkloads(const std::vector<Workload>& workloads,
+                                          const std::vector<const ir::Module*>& built,
                                           const std::vector<core::Protection>& protections,
-                                          int scale, const core::Config& base) {
-  std::vector<Measurement> out;
-  for (const auto& w : workloads) {
-    Measurement m;
-    m.workload = w.name;
-    m.language = w.language;
-
-    // One frontend build per workload; every protection column instruments
-    // its own clone (instrumentation mutates the module in place).
-    auto built = w.build(scale);
-
-    {
-      core::Config vanilla = base;
-      vanilla.protection = core::Protection::kNone;
-      auto module = ir::CloneModule(*built);
-      core::Compiler compiler(vanilla);
-      core::CompileOutput co = compiler.Instrument(*module);
-      m.stats = co.stats;
-      vm::RunResult r = core::Run(*module, vanilla, w.input);
-      CPI_CHECK(r.status == vm::RunStatus::kOk);
-      m.vanilla_cycles = r.counters.cycles;
-      m.vanilla_memory_bytes = r.memory.TotalBytes();
-    }
-
+                                          const core::Config& base, int jobs) {
+  // Cell order: per workload, the vanilla baseline then each protection
+  // column. The reduction below consumes results in exactly this order, so
+  // the Measurement vector is independent of how the pool interleaved them.
+  const size_t stride = 1 + protections.size();
+  std::vector<MeasureCell> cells;
+  cells.reserve(workloads.size() * stride);
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    MeasureCell vanilla;
+    vanilla.workload = wi;
+    vanilla.config = base;
+    vanilla.config.protection = core::Protection::kNone;
+    cells.push_back(vanilla);
     for (core::Protection p : protections) {
-      core::Config config = base;
-      config.protection = p;
-      auto module = ir::CloneModule(*built);
-      vm::RunResult r = core::InstrumentAndRun(*module, config, w.input);
-      CPI_CHECK(r.status == vm::RunStatus::kOk);
-      m.overhead_pct[p] = OverheadPercent(static_cast<double>(r.counters.cycles),
+      MeasureCell cell;
+      cell.workload = wi;
+      cell.config = base;
+      cell.config.protection = p;
+      cells.push_back(cell);
+    }
+  }
+
+  const std::vector<CellResult> results = RunCells(workloads, built, cells, jobs);
+
+  std::vector<Measurement> out;
+  out.reserve(workloads.size());
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const CellResult& vanilla = results[wi * stride];
+    CPI_CHECK(vanilla.status == vm::RunStatus::kOk);
+    Measurement m;
+    m.workload = workloads[wi].name;
+    m.language = workloads[wi].language;
+    m.stats = vanilla.stats;
+    m.vanilla_cycles = vanilla.cycles;
+    m.vanilla_memory_bytes = vanilla.memory_bytes;
+    for (size_t pi = 0; pi < protections.size(); ++pi) {
+      const core::Protection p = protections[pi];
+      const CellResult& r = results[wi * stride + 1 + pi];
+      m.status[p] = r.status;
+      if (r.status != vm::RunStatus::kOk) {
+        continue;
+      }
+      m.overhead_pct[p] = OverheadPercent(static_cast<double>(r.cycles),
                                           static_cast<double>(m.vanilla_cycles));
-      m.memory_bytes[p] = r.memory.TotalBytes();
+      m.memory_bytes[p] = r.memory_bytes;
     }
     out.push_back(std::move(m));
   }
   return out;
 }
 
+std::vector<Measurement> MeasureWorkloads(const std::vector<Workload>& workloads,
+                                          const std::vector<core::Protection>& protections,
+                                          int scale, const core::Config& base, int jobs) {
+  const auto built = BuildWorkloads(workloads, scale, jobs);
+  return MeasureWorkloads(workloads, ModuleViews(built), protections, base, jobs);
+}
+
 std::vector<double> OverheadColumn(const std::vector<Measurement>& measurements,
                                    core::Protection protection) {
   std::vector<double> column;
   for (const auto& m : measurements) {
-    column.push_back(m.overhead_pct.at(protection));
+    column.push_back(m.OverheadPct(protection));
   }
   return column;
 }
@@ -69,7 +153,7 @@ std::vector<double> OverheadColumnForLanguage(const std::vector<Measurement>& me
   std::vector<double> column;
   for (const auto& m : measurements) {
     if (m.language == language) {
-      column.push_back(m.overhead_pct.at(protection));
+      column.push_back(m.OverheadPct(protection));
     }
   }
   return column;

@@ -1,10 +1,22 @@
 // Measurement harness shared by the bench binaries: runs workloads under
 // several protection configurations and reports relative overheads (in
 // simulated cycles) plus the static compilation statistics of Table 2.
+//
+// The harness is organised around *cells*. A MeasureCell is one
+// (workload × configuration) execution: clone the workload's pre-built
+// module, instrument the clone under the cell's Config, run it. Cells are
+// independent by construction (ir::CloneModule gives every cell its own
+// module and VM), so RunCells executes them across a work-stealing thread
+// pool (src/support/pool.h) and writes each result into its own slot — the
+// reduction that follows consumes results in cell order, which makes every
+// derived Measurement bit-identical at any `jobs` value. That invariant is
+// enforced by the serial-vs-parallel differential test in
+// tests/measure_test.cc.
 #ifndef CPI_SRC_WORKLOADS_MEASURE_H_
 #define CPI_SRC_WORKLOADS_MEASURE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,20 +30,73 @@ struct Measurement {
   std::string workload;
   std::string language;
   uint64_t vanilla_cycles = 0;
-  // protection -> overhead percent vs the vanilla run.
+  // protection -> overhead percent vs the vanilla run. Entries exist only
+  // for protections whose run completed (see `status`).
   std::map<core::Protection, double> overhead_pct;
   // protection -> total memory footprint in bytes (for §5.2 memory numbers).
   std::map<core::Protection, uint64_t> memory_bytes;
+  // protection -> run status. SoftBound legitimately fails some workloads
+  // (unsafe pointer idioms produce false violations, like the paper
+  // reports); such columns are recorded here instead of aborting the sweep.
+  std::map<core::Protection, vm::RunStatus> status;
   uint64_t vanilla_memory_bytes = 0;
   // Static statistics (FNUStack / MOCPS / MOCPI).
   analysis::ModuleStats stats;
+
+  // Overhead for `p`, CPI_CHECKed to have been measured and completed — for
+  // drivers whose columns must always succeed (Table 1 / Fig. 4 / Table 4).
+  // Drivers that tolerate failing columns (Table 3 / Fig. 5) consult
+  // `status` instead.
+  double OverheadPct(core::Protection p) const;
 };
 
+// One (workload × configuration) execution unit of the measurement layer.
+struct MeasureCell {
+  size_t workload = 0;  // index into the parallel workload/built vectors
+  core::Config config;  // full configuration this cell runs under
+};
+
+// Raw observations from one cell; the harnesses reduce these in cell order.
+struct CellResult {
+  vm::RunStatus status = vm::RunStatus::kOk;
+  uint64_t cycles = 0;
+  uint64_t memory_bytes = 0;      // total footprint (MemoryFootprint::TotalBytes)
+  uint64_t safe_store_bytes = 0;  // resident safe pointer store
+  analysis::ModuleStats stats;    // static stats under the cell's config
+};
+
+// Frontend-builds every workload once, in parallel across `jobs` threads
+// (jobs <= 0 selects hardware concurrency; 1 is strictly serial).
+std::vector<std::unique_ptr<ir::Module>> BuildWorkloads(
+    const std::vector<Workload>& workloads, int scale, int jobs = 1);
+
+// Non-owning view of a BuildWorkloads result, as RunCells consumes it.
+std::vector<const ir::Module*> ModuleViews(
+    const std::vector<std::unique_ptr<ir::Module>>& built);
+
+// Runs one cell against the workload's pre-built base module.
+CellResult RunCell(const ir::Module& built, const Workload& workload,
+                   const MeasureCell& cell);
+
+// Executes `cells` across `jobs` threads. Results come back indexed like
+// `cells`, regardless of the execution interleaving.
+std::vector<CellResult> RunCells(const std::vector<Workload>& workloads,
+                                 const std::vector<const ir::Module*>& built,
+                                 const std::vector<MeasureCell>& cells, int jobs = 1);
+
 // Runs every workload under vanilla plus each protection in `protections`,
-// using `base` for all other configuration knobs.
+// using `base` for all other configuration knobs, across `jobs` threads.
 std::vector<Measurement> MeasureWorkloads(const std::vector<Workload>& workloads,
                                           const std::vector<core::Protection>& protections,
-                                          int scale, const core::Config& base = {});
+                                          int scale, const core::Config& base = {},
+                                          int jobs = 1);
+
+// Same, against pre-built base modules (the suite driver shares one
+// BuildWorkloads result across every table).
+std::vector<Measurement> MeasureWorkloads(const std::vector<Workload>& workloads,
+                                          const std::vector<const ir::Module*>& built,
+                                          const std::vector<core::Protection>& protections,
+                                          const core::Config& base = {}, int jobs = 1);
 
 // Column of overhead values for one protection, in workload order.
 std::vector<double> OverheadColumn(const std::vector<Measurement>& measurements,
