@@ -39,10 +39,12 @@ int main(int argc, char** argv) {
   for (size_t wi = 0; wi < workloads.size(); ++wi) {
     MeasureCell vanilla;
     vanilla.workload = wi;
+    vanilla.config = cpi::bench::BaseConfig(flags);
     cells.push_back(vanilla);
     for (IsolationKind iso : isolations) {
       MeasureCell cell;
       cell.workload = wi;
+      cell.config = cpi::bench::BaseConfig(flags);
       cell.config.protection = Protection::kCpi;
       cell.config.isolation = iso;
       cells.push_back(cell);

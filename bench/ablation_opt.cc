@@ -1,0 +1,169 @@
+// Ablation — what the post-instrumentation optimizer buys (§5.2's
+// prerequisite: the paper's low overheads assume the compiler optimizes
+// *after* instrumentation; this table shows each scheme's overhead with the
+// optimizer off (O0, the historical pipeline) and on (O1)).
+//
+// Per Table-1 workload and overhead scheme, the overhead is computed against
+// the vanilla baseline *at the same opt level*, so the delta isolates what
+// the optimizer recovers from the instrumentation rather than generic
+// cleanups the baseline also enjoys.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/flags.h"
+#include "src/core/scheme.h"
+#include "src/support/stats.h"
+#include "src/support/table.h"
+#include "src/workloads/measure.h"
+
+namespace {
+
+using cpi::core::Protection;
+using cpi::core::ProtectionScheme;
+using cpi::workloads::CellResult;
+using cpi::workloads::MeasureCell;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cpi::bench::Flags flags = cpi::bench::Parse(argc, argv);
+  // The whole point of this driver is the O0-vs-ON comparison; default the
+  // optimized level to 1 when --opt was not given.
+  const int opt_level = flags.opt >= 1 ? flags.opt : 1;
+
+  const auto schemes = cpi::core::SchemeRegistry::OverheadColumns();
+  const auto& workloads = cpi::workloads::SpecCpu2006();
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto built = cpi::workloads::BuildWorkloads(workloads, flags.scale, flags.jobs);
+  const auto views = cpi::workloads::ModuleViews(built);
+
+  // Per workload: vanilla at O0 and at O1, then each scheme at O0 and O1.
+  const size_t stride = 2 * (1 + schemes.size());
+  std::vector<MeasureCell> cells;
+  cells.reserve(workloads.size() * stride);
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    for (int level : {0, opt_level}) {
+      MeasureCell vanilla;
+      vanilla.workload = wi;
+      vanilla.config.opt_level = level;
+      cells.push_back(vanilla);
+    }
+    for (const ProtectionScheme* s : schemes) {
+      for (int level : {0, opt_level}) {
+        MeasureCell cell;
+        cell.workload = wi;
+        cell.config.protection = s->id();
+        cell.config.opt_level = level;
+        cells.push_back(cell);
+      }
+    }
+  }
+  const std::vector<CellResult> results =
+      cpi::workloads::RunCells(workloads, views, cells, flags.jobs);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Reduce, in cell order.
+  struct Row {
+    std::string workload;
+    // scheme -> {O0 overhead pct, O1 overhead pct}
+    std::map<Protection, std::pair<double, double>> overhead_pct;
+  };
+  std::vector<Row> rows;
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const CellResult& vanilla_o0 = results[wi * stride];
+    const CellResult& vanilla_o1 = results[wi * stride + 1];
+    CPI_CHECK(vanilla_o0.status == cpi::vm::RunStatus::kOk);
+    CPI_CHECK(vanilla_o1.status == cpi::vm::RunStatus::kOk);
+    Row row;
+    row.workload = workloads[wi].name;
+    for (size_t si = 0; si < schemes.size(); ++si) {
+      const CellResult& o0 = results[wi * stride + 2 + 2 * si];
+      const CellResult& o1 = results[wi * stride + 2 + 2 * si + 1];
+      CPI_CHECK(o0.status == cpi::vm::RunStatus::kOk);
+      CPI_CHECK(o1.status == cpi::vm::RunStatus::kOk);
+      row.overhead_pct[schemes[si]->id()] = {
+          cpi::OverheadPercent(static_cast<double>(o0.cycles),
+                               static_cast<double>(vanilla_o0.cycles)),
+          cpi::OverheadPercent(static_cast<double>(o1.cycles),
+                               static_cast<double>(vanilla_o1.cycles))};
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::map<Protection, std::pair<double, double>> average;
+  for (const ProtectionScheme* s : schemes) {
+    std::vector<double> o0s;
+    std::vector<double> o1s;
+    for (const Row& row : rows) {
+      o0s.push_back(row.overhead_pct.at(s->id()).first);
+      o1s.push_back(row.overhead_pct.at(s->id()).second);
+    }
+    average[s->id()] = {cpi::Mean(o0s), cpi::Mean(o1s)};
+  }
+
+  if (flags.json) {
+    std::printf("{\"bench\":\"ablation_opt\",\"opt_level\":%d,\"wall_ms\":%.1f,\"rows\":[",
+                opt_level, wall_ms);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::printf("%s{\"workload\":\"%s\",\"overhead_pct\":{", i == 0 ? "" : ",",
+                  rows[i].workload.c_str());
+      for (size_t si = 0; si < schemes.size(); ++si) {
+        const auto& [o0, o1] = rows[i].overhead_pct.at(schemes[si]->id());
+        std::printf("%s\"%s\":{\"o0\":%.3f,\"o1\":%.3f}", si == 0 ? "" : ",",
+                    schemes[si]->name(), o0, o1);
+      }
+      std::printf("}}");
+    }
+    std::printf("],\"average\":{");
+    for (size_t si = 0; si < schemes.size(); ++si) {
+      const auto& [o0, o1] = average.at(schemes[si]->id());
+      std::printf("%s\"%s\":{\"o0\":%.3f,\"o1\":%.3f}", si == 0 ? "" : ",",
+                  schemes[si]->name(), o0, o1);
+    }
+    std::printf("}}\n");
+    return 0;
+  }
+
+  std::printf("Ablation — post-instrumentation optimizer (overhead at O0 vs O%d)\n\n",
+              opt_level);
+  std::vector<std::string> header = {"Benchmark"};
+  for (const ProtectionScheme* s : schemes) {
+    header.push_back(std::string(s->name()) + " O0");
+    header.push_back(std::string(s->name()) + " O" + std::to_string(opt_level));
+  }
+  cpi::Table table(header);
+  for (const Row& row : rows) {
+    std::vector<std::string> cells_out = {row.workload};
+    for (const ProtectionScheme* s : schemes) {
+      const auto& [o0, o1] = row.overhead_pct.at(s->id());
+      cells_out.push_back(cpi::Table::FormatPercent(o0));
+      cells_out.push_back(cpi::Table::FormatPercent(o1));
+    }
+    table.AddRow(cells_out);
+  }
+  table.AddSeparator();
+  std::vector<std::string> avg_row = {"Average"};
+  for (const ProtectionScheme* s : schemes) {
+    const auto& [o0, o1] = average.at(s->id());
+    avg_row.push_back(cpi::Table::FormatPercent(o0));
+    avg_row.push_back(cpi::Table::FormatPercent(o1));
+  }
+  table.AddRow(avg_row);
+  table.Print();
+
+  std::printf("\nPaper reference (§5.2): the reported 8.4%% CPI / 1.9%% CPS averages\n"
+              "assume post-instrumentation optimization; expect every protected\n"
+              "column to drop from O0 to O%d, most for CPI (redundant safe-store\n"
+              "gets and dominated bounds checks fold away).\n",
+              opt_level);
+  if (flags.timing) {
+    std::printf("\nwall-clock: %.1f ms (scale %d, jobs %d)\n", wall_ms, flags.scale,
+                flags.jobs);
+  }
+  return 0;
+}

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const auto schemes = cpi::core::SchemeRegistry::OverheadColumns();
   const auto measurements = cpi::workloads::MeasureWorkloads(
       cpi::workloads::Phoronix(), cpi::workloads::OverheadProtections(), flags.scale,
-      {}, flags.jobs);
+      cpi::bench::BaseConfig(flags), flags.jobs);
 
   std::vector<std::string> header = {"Benchmark"};
   for (const ProtectionScheme* s : schemes) {

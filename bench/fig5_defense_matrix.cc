@@ -46,11 +46,11 @@ int main(int argc, char** argv) {
     protections.push_back(s->id());
   }
   const auto measurements = cpi::workloads::MeasureWorkloads(
-      workloads, protections, flags.scale, {}, flags.jobs);
+      workloads, protections, flags.scale, cpi::bench::BaseConfig(flags), flags.jobs);
 
   cpi::Table table({"Mechanism", "Stops all control-flow hijacks?", "Avg overhead"});
   for (const ProtectionScheme* s : rows) {
-    Config config;
+    Config config = cpi::bench::BaseConfig(flags);
     config.protection = s->id();
 
     int hijacked = 0;

@@ -6,6 +6,10 @@
 //   --jobs N     measurement-cell parallelism; 0 or omitted = hardware
 //                concurrency, 1 = strictly serial (bit-identical tables
 //                either way — only wall-clock changes)
+//   --opt N      post-instrumentation optimization level (default 0; every
+//                historical table is recorded at O0). Most drivers measure
+//                at the given level; the suite instead keeps its standard
+//                tables at O0 and adds the ablation_opt O0-vs-O1 table.
 #ifndef CPI_BENCH_FLAGS_H_
 #define CPI_BENCH_FLAGS_H_
 
@@ -13,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/core/levee.h"
 #include "src/support/pool.h"
 
 namespace cpi::bench {
@@ -22,7 +27,15 @@ struct Flags {
   bool timing = false;
   int scale = 1;
   int jobs = 0;  // resolved to ThreadPool::DefaultJobs() by Parse
+  int opt = 0;   // core::Config::opt_level for the measured cells
 };
+
+// The Config every measured cell starts from under these flags.
+inline core::Config BaseConfig(const Flags& flags) {
+  core::Config config;
+  config.opt_level = flags.opt;
+  return config;
+}
 
 inline Flags Parse(int argc, char** argv) {
   Flags flags;
@@ -42,6 +55,12 @@ inline Flags Parse(int argc, char** argv) {
       flags.jobs = std::atoi(argv[++i]);
       if (flags.jobs < 0) {
         flags.jobs = 0;
+      }
+    } else if (std::strcmp(argv[i], "--opt") == 0 && i + 1 < argc) {
+      flags.opt = std::atoi(argv[++i]);
+      if (flags.opt < 0) {
+        std::fprintf(stderr, "invalid --opt; using 0\n");
+        flags.opt = 0;
       }
     }
   }

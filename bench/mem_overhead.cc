@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
   for (size_t wi = 0; wi < workloads.size(); ++wi) {
     MeasureCell cell;
     cell.workload = wi;
+    cell.config = cpi::bench::BaseConfig(flags);
     cells.push_back(cell);
   }
   for (StoreKind store : stores) {
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
       for (const ProtectionScheme* s : schemes) {
         MeasureCell cell;
         cell.workload = wi;
+        cell.config = cpi::bench::BaseConfig(flags);
         cell.config.protection = s->id();
         cell.config.store = store;
         cells.push_back(cell);

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
 
   cpi::Table table({"Protection", "Hijacked", "Prevented", "Crashed", "No effect"});
   for (const ProtectionScheme* s : cpi::core::SchemeRegistry::RipeRows()) {
-    Config config;
+    Config config = cpi::bench::BaseConfig(flags);
     config.protection = s->id();
     int counts[4] = {0, 0, 0, 0};
     for (const auto& r : cpi::attacks::RunAttackMatrix(config, flags.jobs)) {
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   table.Print();
 
   std::printf("\nDetailed CFI bypasses (the [19,15,9]-style attacks):\n");
-  Config cfi;
+  Config cfi = cpi::bench::BaseConfig(flags);
   cfi.protection = Protection::kCfi;
   for (const auto& r : cpi::attacks::RunAttackMatrix(cfi, flags.jobs)) {
     if (r.Hijacked()) {

@@ -8,13 +8,18 @@
 //   suite --scale N       workload size multiplier ("small" == 1)
 //   suite --jobs N        cell parallelism (default: hardware concurrency)
 //   suite --time          append wall-clock summary to the human report
+//   suite --opt N         additionally emit the ablation_opt table (per-
+//                         scheme overhead with the post-instrumentation
+//                         optimizer off/on). The standard tables always run
+//                         at O0 and stay byte-identical at any --opt value.
 //
 // Table values are bit-identical to the individual bench binaries at any
 // --jobs value (the cost model is simulated; the pool only changes
 // wall-clock). The JSON layout keeps everything that varies between runs
 // (wall_ms, jobs, host concurrency) outside "tables", so
 // `jq .tables` output is byte-stable and CI diffs it against the committed
-// BENCH_pr3.json baseline.
+// BENCH_pr4.json baseline (recorded at --opt 1; dropping its ablation_opt
+// table recovers the BENCH_pr3.json O0 payload byte for byte).
 //
 // docs/PAPER_MAP.md maps each table emitted here back to the paper.
 #include <algorithm>
@@ -94,6 +99,12 @@ struct MemStoreRow {
   StoreKind store;
   std::map<Protection, double> median_overhead_pct;
   std::map<Protection, double> median_safe_store_bytes;
+};
+
+struct AblationOpt {
+  std::vector<std::string> workloads;
+  // scheme -> per-workload {O0, O1} overhead percents
+  std::map<Protection, std::vector<std::pair<double, double>>> overhead_pct;
 };
 
 // ---------------------------------------------------------------------------
@@ -444,6 +455,50 @@ int main(int argc, char** argv) {
   }
   table_wall_ms["fig5_defense_matrix"] = fig5_watch.Ms();
 
+  // -------------------------------------------------------------------------
+  // ablation_opt (--opt >= 1 only): per-scheme overhead with the
+  // post-instrumentation optimizer off and on. The standard tables above
+  // always run at O0 — they are the paper baselines and stay byte-identical
+  // at any --opt value; this table adds the O1 cells (overheads at each
+  // level are computed against the same-level vanilla baseline). The O0
+  // column is reused from the shared SPEC sweep.
+  AblationOpt opt_ablation;
+  if (flags.opt >= 1) {
+    Stopwatch opt_watch;
+    std::vector<MeasureCell> opt_cells;
+    const size_t opt_stride = 1 + overhead_protections.size();
+    for (size_t wi = 0; wi < spec.size(); ++wi) {
+      MeasureCell vanilla;
+      vanilla.workload = wi;
+      vanilla.config.opt_level = flags.opt;
+      opt_cells.push_back(vanilla);
+      for (Protection p : overhead_protections) {
+        MeasureCell cell;
+        cell.workload = wi;
+        cell.config.protection = p;
+        cell.config.opt_level = flags.opt;
+        opt_cells.push_back(cell);
+      }
+    }
+    const auto opt_results =
+        cpi::workloads::RunCells(spec, spec_views, opt_cells, flags.jobs);
+    for (size_t wi = 0; wi < spec.size(); ++wi) {
+      opt_ablation.workloads.push_back(spec[wi].name);
+      const CellResult& vanilla = opt_results[wi * opt_stride];
+      CPI_CHECK(vanilla.status == cpi::vm::RunStatus::kOk);
+      for (size_t pi = 0; pi < overhead_protections.size(); ++pi) {
+        const Protection p = overhead_protections[pi];
+        const CellResult& r = opt_results[wi * opt_stride + 1 + pi];
+        CPI_CHECK(r.status == cpi::vm::RunStatus::kOk);
+        opt_ablation.overhead_pct[p].push_back(
+            {spec_ms[wi].OverheadPct(p),
+             cpi::OverheadPercent(static_cast<double>(r.cycles),
+                                  static_cast<double>(vanilla.cycles))});
+      }
+    }
+    table_wall_ms["ablation_opt"] = opt_watch.Ms();
+  }
+
   const double wall_ms = total.Ms();
 
   // -------------------------------------------------------------------------
@@ -536,6 +591,34 @@ int main(int argc, char** argv) {
                   r.counts[2], r.counts[3]);
     }
     std::printf("]}");
+
+    if (flags.opt >= 1) {
+      std::printf(",\"ablation_opt\":{\"opt_level\":%d,\"rows\":[", flags.opt);
+      for (size_t wi = 0; wi < opt_ablation.workloads.size(); ++wi) {
+        std::printf("%s{\"workload\":\"%s\",\"overhead_pct\":{", wi == 0 ? "" : ",",
+                    opt_ablation.workloads[wi].c_str());
+        for (size_t pi = 0; pi < overhead_protections.size(); ++pi) {
+          const Protection p = overhead_protections[pi];
+          const auto& [o0, o1] = opt_ablation.overhead_pct.at(p)[wi];
+          std::printf("%s\"%s\":{\"o0\":%.3f,\"o1\":%.3f}", pi == 0 ? "" : ",",
+                      SchemeName(p), o0, o1);
+        }
+        std::printf("}}");
+      }
+      std::printf("],\"average\":{");
+      for (size_t pi = 0; pi < overhead_protections.size(); ++pi) {
+        const Protection p = overhead_protections[pi];
+        std::vector<double> o0s;
+        std::vector<double> o1s;
+        for (const auto& [o0, o1] : opt_ablation.overhead_pct.at(p)) {
+          o0s.push_back(o0);
+          o1s.push_back(o1);
+        }
+        std::printf("%s\"%s\":{\"o0\":%.3f,\"o1\":%.3f}", pi == 0 ? "" : ",",
+                    SchemeName(p), cpi::Mean(o0s), cpi::Mean(o1s));
+      }
+      std::printf("}}");
+    }
 
     std::printf(",\"mem_overhead\":{\"stores\":[");
     for (size_t i = 0; i < mem_rows.size(); ++i) {
@@ -685,6 +768,41 @@ int main(int argc, char** argv) {
                 std::to_string(r.counts[1]), std::to_string(r.counts[2]),
                 std::to_string(r.counts[3])});
     }
+    t.Print();
+    std::printf("\n");
+  }
+
+  if (flags.opt >= 1) {
+    std::printf("Ablation — post-instrumentation optimizer (overhead at O0 vs O%d)\n\n",
+                flags.opt);
+    std::vector<std::string> header = {"Benchmark"};
+    for (Protection p : overhead_protections) {
+      header.push_back(std::string(SchemeName(p)) + " O0");
+      header.push_back(std::string(SchemeName(p)) + " O" + std::to_string(flags.opt));
+    }
+    Table t(header);
+    for (size_t wi = 0; wi < opt_ablation.workloads.size(); ++wi) {
+      std::vector<std::string> row = {opt_ablation.workloads[wi]};
+      for (Protection p : overhead_protections) {
+        const auto& [o0, o1] = opt_ablation.overhead_pct.at(p)[wi];
+        row.push_back(Table::FormatPercent(o0));
+        row.push_back(Table::FormatPercent(o1));
+      }
+      t.AddRow(row);
+    }
+    t.AddSeparator();
+    std::vector<std::string> avg = {"Average"};
+    for (Protection p : overhead_protections) {
+      std::vector<double> o0s;
+      std::vector<double> o1s;
+      for (const auto& [o0, o1] : opt_ablation.overhead_pct.at(p)) {
+        o0s.push_back(o0);
+        o1s.push_back(o1);
+      }
+      avg.push_back(Table::FormatPercent(cpi::Mean(o0s)));
+      avg.push_back(Table::FormatPercent(cpi::Mean(o1s)));
+    }
+    t.AddRow(avg);
     t.Print();
     std::printf("\n");
   }

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   const auto start = std::chrono::steady_clock::now();
   const auto measurements = cpi::workloads::MeasureWorkloads(
       cpi::workloads::SpecCpu2006(), cpi::workloads::OverheadProtections(), flags.scale,
-      {}, flags.jobs);
+      cpi::bench::BaseConfig(flags), flags.jobs);
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();

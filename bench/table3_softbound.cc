@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
   const auto& workloads = cpi::workloads::SpecCpu2006();
   const auto measurements = cpi::workloads::MeasureWorkloads(
-      workloads, protections, flags.scale, {}, flags.jobs);
+      workloads, protections, flags.scale, cpi::bench::BaseConfig(flags), flags.jobs);
 
   std::vector<std::string> header = {"Benchmark"};
   for (const ProtectionScheme* s : schemes) {

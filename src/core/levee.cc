@@ -16,12 +16,20 @@ const ProtectionScheme& SchemeFor(const Config& config) {
 
 const char* ProtectionName(Protection p) { return SchemeRegistry::Get(p).name(); }
 
-CompileOutput Compiler::Instrument(ir::Module& module) const {
+namespace {
+
+void VerifyOrDie(const ir::Module& module, const char* when) {
   const std::vector<std::string> errors = ir::VerifyModule(module);
   for (const std::string& e : errors) {
-    std::fprintf(stderr, "module %s: %s\n", module.name().c_str(), e.c_str());
+    std::fprintf(stderr, "module %s (%s): %s\n", module.name().c_str(), when, e.c_str());
   }
   CPI_CHECK(errors.empty());
+}
+
+}  // namespace
+
+CompileOutput Compiler::Instrument(ir::Module& module) const {
+  VerifyOrDie(module, "before instrumentation");
 
   const ProtectionScheme& scheme = SchemeFor(config_);
 
@@ -41,8 +49,23 @@ CompileOutput Compiler::Instrument(ir::Module& module) const {
   popts.temporal = config_.temporal;
 
   scheme.Instrument(module, popts);
+  VerifyOrDie(module, "after instrumentation");
 
   out.instructions_after = module.InstructionCount();
+  out.instructions_after_opt = out.instructions_after;
+
+  if (config_.opt_level >= 1) {
+    // Standard pipeline, then scheme-specific cleanup, then DCE last so it
+    // sweeps whatever the other passes left without uses. The pass manager
+    // re-verifies the module after every pass.
+    opt::PassManager pm;
+    pm.Add(opt::CreateMem2RegPass());
+    pm.Add(opt::CreateRedundancyEliminationPass());
+    scheme.ContributeOptPasses(pm);
+    pm.Add(opt::CreateDcePass());
+    out.opt = pm.Run(module);
+    out.instructions_after_opt = module.InstructionCount();
+  }
   return out;
 }
 

@@ -23,6 +23,7 @@
 #include "src/analysis/classify.h"
 #include "src/instrument/passes.h"
 #include "src/ir/module.h"
+#include "src/opt/pass_manager.h"
 #include "src/vm/machine.h"
 
 namespace cpi::core {
@@ -58,15 +59,25 @@ struct Config {
   // threaded-dispatch engine (bit-identical results; used as the oracle by
   // the differential tests).
   bool reference_interpreter = false;
+  // Post-instrumentation optimization level (src/opt). 0 — the default —
+  // runs no passes, so every O0 run is byte-identical to the historical
+  // pipeline. 1 runs the standard pipeline (mem2reg, redundant-check
+  // elimination, scheme-contributed cleanup, DCE); optimized runs keep the
+  // program's output, exit code and protection verdicts bit-identical to O0
+  // while cycle/access counters drop (tests/opt_test.cc enforces this).
+  int opt_level = 0;
   uint64_t max_steps = 200'000'000;
   uint64_t seed = 1;
 };
 
-// Static compilation statistics — Table 2's columns for this module.
+// Static compilation statistics — Table 2's columns for this module, plus
+// the optimizer's per-pass report when opt_level > 0.
 struct CompileOutput {
   analysis::ModuleStats stats;
   size_t instructions_before = 0;
-  size_t instructions_after = 0;
+  size_t instructions_after = 0;        // after instrumentation
+  size_t instructions_after_opt = 0;    // after optimization (== after at O0)
+  opt::OptReport opt;                   // empty at O0
 };
 
 class Compiler {

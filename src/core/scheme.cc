@@ -22,6 +22,8 @@ class BuiltinScheme final : public ProtectionScheme {
     std::optional<analysis::Protection> classification;
     vm::OpCosts costs;
     SchemeReporting reporting;
+    // Scheme-specific optimizer cleanup (may be null).
+    void (*contribute_opt)(opt::PassManager&) = nullptr;
   };
 
   explicit BuiltinScheme(const Spec& spec) : spec_(spec) {}
@@ -49,6 +51,12 @@ class BuiltinScheme final : public ProtectionScheme {
   }
 
   SchemeReporting reporting() const override { return spec_.reporting; }
+
+  void ContributeOptPasses(opt::PassManager& pm) const override {
+    if (spec_.contribute_opt != nullptr) {
+      spec_.contribute_opt(pm);
+    }
+  }
 
  private:
   Spec spec_;
@@ -113,7 +121,9 @@ struct Registry {
         /*uses_safe_store=*/false, analysis::Protection::kCps,
         // PAC-style sign/authenticate latency dominates; no separate checks.
         vm::OpCosts{/*check=*/1, /*cfi_check=*/3, /*seal=*/4, /*auth=*/4},
-        SchemeReporting{true, true, true}}));
+        SchemeReporting{true, true, true},
+        // Seal→auth pair elision folds the pattern only this scheme emits.
+        +[](opt::PassManager& pm) { pm.Add(opt::CreateSealElisionPass()); }}));
   }
 };
 

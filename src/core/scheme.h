@@ -24,6 +24,7 @@
 #include "src/analysis/classify.h"
 #include "src/core/levee.h"
 #include "src/instrument/passes.h"
+#include "src/opt/pass_manager.h"
 #include "src/vm/machine.h"
 
 namespace cpi::core {
@@ -66,6 +67,12 @@ class ProtectionScheme {
   virtual void ConfigureClassification(analysis::ClassifyOptions& options) const {
     (void)options;
   }
+
+  // Scheme-specific cleanup passes for the post-instrumentation optimizer
+  // (Config::opt_level >= 1). Called after the standard pipeline's analysis
+  // passes and before the final DCE, so a scheme can fold patterns only its
+  // own instrumentation emits (PtrEnc contributes seal→auth pair elision).
+  virtual void ContributeOptPasses(opt::PassManager& pm) const { (void)pm; }
 
   // (d) Reporting name/columns for the Table 1/2-style output.
   virtual SchemeReporting reporting() const { return {}; }

@@ -33,6 +33,7 @@ class Cloner {
       nf->set_needs_unsafe_frame(f->needs_unsafe_frame());
       nf->set_has_stack_cookie(f->has_stack_cookie());
       nf->set_address_taken(f->address_taken());
+      nf->set_ret_token_elidable(f->ret_token_elidable());
     }
     for (const auto& f : src_.functions()) {
       CloneBody(*f, *func_map_.at(f.get()));

@@ -35,6 +35,15 @@ uint32_t Function::RenumberValues() {
   return next;
 }
 
+void Function::ClearAllUses() {
+  for (const auto& arg : args_) {
+    arg->ClearUses();
+  }
+  for (const auto& inst : instruction_arena_) {
+    inst->ClearUses();
+  }
+}
+
 size_t Function::InstructionCount() const {
   size_t n = 0;
   for (const auto& bb : blocks_) {

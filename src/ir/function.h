@@ -72,7 +72,23 @@ class Function {
   bool address_taken() const { return address_taken_; }
   void set_address_taken(bool v) { address_taken_ = v; }
 
+  // PtrEnc leaf-frame optimization (set by the seal-elision pass at O1, in
+  // the spirit of PACTight/"PAC it up"'s leaf-function handling): this
+  // function provably cannot write memory or transfer control (no stores,
+  // calls or writing libcalls), so nothing can touch its saved return token
+  // while its frame is live and the VM may skip the PAC-style epilogue
+  // *authenticate* (the prologue sign is kept, so the frame image in memory
+  // stays byte-identical across opt levels). Behaviour is bit-identical
+  // either way; only the seal-op and cycle counters change.
+  bool ret_token_elidable() const { return ret_token_elidable_; }
+  void set_ret_token_elidable(bool v) { ret_token_elidable_ = v; }
+
   size_t InstructionCount() const;
+
+  // Clears the use-lists of every value this function owns (arguments plus
+  // every arena instruction, block-resident or orphaned). Part of
+  // Module::RecomputeUses().
+  void ClearAllUses();
 
  private:
   std::string name_;
@@ -86,6 +102,7 @@ class Function {
   bool needs_unsafe_frame_ = false;
   bool has_stack_cookie_ = false;
   bool address_taken_ = false;
+  bool ret_token_elidable_ = false;
 };
 
 }  // namespace cpi::ir

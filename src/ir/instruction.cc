@@ -2,6 +2,27 @@
 
 namespace cpi::ir {
 
+void Value::ReplaceAllUsesWith(Value* replacement) {
+  CPI_CHECK(replacement != nullptr);
+  CPI_CHECK(replacement != this);
+  // Move the whole list out first: rewriting operand slots directly keeps
+  // RemoveUse's strict bookkeeping out of the loop.
+  std::vector<Instruction*> users = std::move(users_);
+  users_.clear();
+  for (Instruction* user : users) {
+    bool rewired = false;
+    for (size_t i = 0; i < user->operands_.size(); ++i) {
+      if (user->operands_[i] == this) {
+        user->operands_[i] = replacement;
+        replacement->AddUse(user);
+        rewired = true;
+        break;  // one use-list entry covers exactly one operand slot
+      }
+    }
+    CPI_CHECK(rewired);
+  }
+}
+
 const char* OpcodeName(Opcode op) {
   switch (op) {
     case Opcode::kAlloca: return "alloca";

@@ -101,10 +101,21 @@ class Instruction final : public Value {
   void AddOperand(Value* v) {
     CPI_CHECK(v != nullptr);
     operands_.push_back(v);
+    v->AddUse(this);
   }
   void SetOperand(size_t i, Value* v) {
     CPI_CHECK(i < operands_.size());
+    CPI_CHECK(v != nullptr);
+    operands_[i]->RemoveUse(this);
     operands_[i] = v;
+    v->AddUse(this);
+  }
+  // Unregisters this instruction from its operands' use-lists; called by the
+  // optimizer right before dropping the instruction from its block.
+  void DropOperandUses() {
+    for (Value* v : operands_) {
+      v->RemoveUse(this);
+    }
   }
 
   // --- opcode-specific payload -------------------------------------------
@@ -222,6 +233,8 @@ class Instruction final : public Value {
   void set_name(std::string n) { name_ = std::move(n); }
 
  private:
+  friend class Value;  // ReplaceAllUsesWith rewrites operand slots in place
+
   Opcode op_;
   std::vector<Value*> operands_;
   const Type* extra_type_ = nullptr;

@@ -78,4 +78,26 @@ size_t Module::InstructionCount() const {
   return n;
 }
 
+void Module::RecomputeUses() {
+  // Clear everything a block-resident operand could point at — including
+  // arena-orphaned instructions, which the instrumentation rewrites leave
+  // behind with their use registrations intact.
+  for (const auto& c : constants_) {
+    c->ClearUses();
+  }
+  for (const auto& f : functions_) {
+    f->ClearAllUses();
+  }
+  // Re-register exactly the block-resident references.
+  for (const auto& f : functions_) {
+    for (const auto& bb : f->blocks()) {
+      for (Instruction* inst : bb->instructions()) {
+        for (Value* op : inst->operands()) {
+          op->AddUse(inst);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace cpi::ir

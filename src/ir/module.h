@@ -109,6 +109,12 @@ class Module {
   // anywhere in the module (the coarse-CFI target set).
   void ComputeAddressTaken();
 
+  // Rebuilds every value's use-list from the block-resident instructions.
+  // Instrumentation passes orphan replaced instructions in the arena without
+  // unregistering their uses; the optimizer calls this before relying on
+  // use-lists (see src/opt/pass_manager.h).
+  void RecomputeUses();
+
   size_t InstructionCount() const;
 
  private:

@@ -3,11 +3,20 @@
 // Values are identified by a function-local register id (assigned by
 // Function::RenumberValues) that the VM uses to index its register file.
 // Constants live outside the register file.
+//
+// Every value also carries a use-list: the block-resident instructions whose
+// operand lists reference it (one entry per referencing operand slot). The
+// list is maintained automatically by Instruction::AddOperand/SetOperand;
+// passes that orphan instructions wholesale (the instrumentation rewrites)
+// leave stale entries behind, so the optimizer calls Module::RecomputeUses()
+// to rebuild the lists from the block-resident instructions before relying
+// on them.
 #ifndef CPI_SRC_IR_VALUE_H_
 #define CPI_SRC_IR_VALUE_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/ir/type.h"
 #include "src/support/check.h"
@@ -15,6 +24,7 @@
 namespace cpi::ir {
 
 class Function;
+class Instruction;
 
 enum class ValueKind {
   kConstInt,
@@ -43,6 +53,30 @@ class Value {
   uint32_t value_id() const { return value_id_; }
   void set_value_id(uint32_t id) { value_id_ = id; }
 
+  // --- use-list ----------------------------------------------------------
+  // One entry per operand slot that references this value.
+  const std::vector<Instruction*>& users() const { return users_; }
+  bool HasUses() const { return !users_.empty(); }
+  size_t UseCount() const { return users_.size(); }
+
+  void AddUse(Instruction* user) { users_.push_back(user); }
+  // Removes one occurrence of `user` (a user referencing this value through
+  // two operand slots appears twice).
+  void RemoveUse(Instruction* user) {
+    for (size_t i = users_.size(); i > 0; --i) {
+      if (users_[i - 1] == user) {
+        users_.erase(users_.begin() + static_cast<ptrdiff_t>(i - 1));
+        return;
+      }
+    }
+    CPI_CHECK(false && "RemoveUse: user not found");
+  }
+  void ClearUses() { users_.clear(); }
+
+  // Rewrites every user's matching operand slots to `replacement` and moves
+  // the uses over. Defined in instruction.cc (needs the Instruction layout).
+  void ReplaceAllUsesWith(Value* replacement);
+
  protected:
   Value(ValueKind kind, const Type* type) : value_kind_(kind), type_(type) {
     CPI_CHECK(type != nullptr);
@@ -52,6 +86,7 @@ class Value {
   ValueKind value_kind_;
   const Type* type_;
   uint32_t value_id_ = kInvalidValueId;
+  std::vector<Instruction*> users_;
 };
 
 class ConstantInt final : public Value {

@@ -330,7 +330,8 @@ class Verifier {
       case Opcode::kOutput:
         expect_operands(1);
         break;
-      case Opcode::kIntrinsic:
+      case Opcode::kIntrinsic: {
+        const char* iname = IntrinsicName(inst.intrinsic());
         switch (inst.intrinsic()) {
           case IntrinsicId::kCpiStore:
           case IntrinsicId::kCpiStoreUni:
@@ -340,6 +341,13 @@ class Verifier {
           case IntrinsicId::kSealStore:
             if (expect_operands(2)) {
               expect_ptr(0);
+              const Type* vt = inst.operand(1)->type();
+              if (!vt->IsInt() && !vt->IsFloat() && !vt->IsPointer()) {
+                Error(where, std::string(iname) + ": stored value must be scalar");
+              }
+            }
+            if (!inst.type()->IsVoid()) {
+              Error(where, std::string(iname) + ": store intrinsic must produce void");
             }
             break;
           case IntrinsicId::kCpiLoad:
@@ -351,12 +359,19 @@ class Verifier {
             if (expect_operands(1)) {
               expect_ptr(0);
             }
+            if (!inst.type()->IsInt() && !inst.type()->IsFloat() &&
+                !inst.type()->IsPointer()) {
+              Error(where, std::string(iname) + ": load intrinsic must produce a scalar");
+            }
             break;
           case IntrinsicId::kCpiBoundsCheck:
           case IntrinsicId::kSbCheck:
             if (expect_operands(2)) {
               expect_ptr(0);
               expect_int(1);
+            }
+            if (!inst.type()->IsVoid()) {
+              Error(where, std::string(iname) + ": check intrinsic must produce void");
             }
             break;
           case IntrinsicId::kCpiAssertCode:
@@ -365,10 +380,15 @@ class Verifier {
           case IntrinsicId::kSealAssertCode:
             if (expect_operands(1)) {
               expect_ptr(0);
+              if (inst.type() != inst.operand(0)->type()) {
+                Error(where, std::string(iname) +
+                                 ": assert result type must match its operand");
+              }
             }
             break;
         }
         break;
+      }
     }
   }
 

@@ -1,0 +1,66 @@
+#include "src/opt/cfg.h"
+
+#include <algorithm>
+
+namespace cpi::opt {
+
+std::vector<const ir::BasicBlock*> Cfg::successors(const ir::BasicBlock* bb) const {
+  std::vector<const ir::BasicBlock*> out;
+  if (bb->HasTerminator()) {
+    const ir::Instruction* term = bb->terminator();
+    for (size_t i = 0; i < term->successor_count(); ++i) {
+      out.push_back(term->successor(i));
+    }
+  }
+  return out;
+}
+
+Cfg::Cfg(const ir::Function& function) : function_(&function) {
+  CPI_CHECK(!function.blocks().empty());
+
+  // Iterative postorder DFS from the entry. Each frame owns its successor
+  // list, computed once at push time.
+  struct DfsFrame {
+    const ir::BasicBlock* bb;
+    std::vector<const ir::BasicBlock*> succs;
+    size_t next = 0;
+  };
+  std::unordered_map<const ir::BasicBlock*, int> state;  // 0 new, 1 open, 2 done
+  std::vector<const ir::BasicBlock*> postorder;
+  std::vector<DfsFrame> stack;
+  const ir::BasicBlock* entry = function.entry();
+  stack.push_back(DfsFrame{entry, successors(entry)});
+  state[entry] = 1;
+  while (!stack.empty()) {
+    DfsFrame& frame = stack.back();
+    if (frame.next < frame.succs.size()) {
+      const ir::BasicBlock* s = frame.succs[frame.next++];
+      const int st = state[s];
+      if (st == 1) {
+        has_back_edge_ = true;  // edge into an open block: a cycle
+      } else if (st == 0) {
+        state[s] = 1;
+        stack.push_back(DfsFrame{s, successors(s)});
+      }
+    } else {
+      state[frame.bb] = 2;
+      postorder.push_back(frame.bb);
+      stack.pop_back();
+    }
+  }
+
+  rpo_.assign(postorder.rbegin(), postorder.rend());
+  for (size_t i = 0; i < rpo_.size(); ++i) {
+    rpo_index_[rpo_[i]] = i;
+    preds_[rpo_[i]];  // ensure an entry exists even with no predecessors
+  }
+  for (const ir::BasicBlock* bb : rpo_) {
+    for (const ir::BasicBlock* s : successors(bb)) {
+      if (IsReachable(s)) {
+        preds_[s].push_back(bb);
+      }
+    }
+  }
+}
+
+}  // namespace cpi::opt

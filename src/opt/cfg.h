@@ -1,0 +1,57 @@
+// Control-flow graph view of an ir::Function.
+//
+// The IR itself only stores successor pointers on terminators; the optimizer
+// needs predecessors, a reverse-postorder walk and reachability, so this
+// builds them once per function. Blocks unreachable from the entry are
+// excluded from the RPO (passes skip them — they never execute).
+#ifndef CPI_SRC_OPT_CFG_H_
+#define CPI_SRC_OPT_CFG_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace cpi::opt {
+
+class Cfg {
+ public:
+  explicit Cfg(const ir::Function& function);
+
+  const ir::Function& function() const { return *function_; }
+
+  // Blocks reachable from the entry, in reverse postorder (entry first).
+  const std::vector<const ir::BasicBlock*>& rpo() const { return rpo_; }
+
+  bool IsReachable(const ir::BasicBlock* bb) const { return rpo_index_.count(bb) > 0; }
+  // Position of `bb` in rpo(); bb must be reachable.
+  size_t RpoIndex(const ir::BasicBlock* bb) const {
+    auto it = rpo_index_.find(bb);
+    CPI_CHECK(it != rpo_index_.end());
+    return it->second;
+  }
+
+  const std::vector<const ir::BasicBlock*>& predecessors(const ir::BasicBlock* bb) const {
+    auto it = preds_.find(bb);
+    CPI_CHECK(it != preds_.end());
+    return it->second;
+  }
+  std::vector<const ir::BasicBlock*> successors(const ir::BasicBlock* bb) const;
+
+  // True when some reachable terminator branches to a block that does not
+  // come later in the RPO — i.e. the function has a loop. Passes whose
+  // reasoning assumes every instruction executes at most once per call
+  // consult this.
+  bool HasBackEdge() const { return has_back_edge_; }
+
+ private:
+  const ir::Function* function_;
+  std::vector<const ir::BasicBlock*> rpo_;
+  std::unordered_map<const ir::BasicBlock*, size_t> rpo_index_;
+  std::unordered_map<const ir::BasicBlock*, std::vector<const ir::BasicBlock*>> preds_;
+  bool has_back_edge_ = false;
+};
+
+}  // namespace cpi::opt
+
+#endif  // CPI_SRC_OPT_CFG_H_

@@ -1,0 +1,113 @@
+// Dead-code elimination for instructions the optimizer itself orphaned.
+//
+// Seeded exclusively from PipelineContext::orphaned — the operand
+// instructions of everything the earlier passes deleted — plus whatever the
+// sweep cascades into. Pre-existing dead code is deliberately left alone: it
+// also executes in the vanilla baseline, and removing it only on the
+// instrumented side would make protection overheads read better than they
+// are (a protected run must never beat the baseline it is measured against).
+//
+// Within the seeded set, an instruction is removed only when its result has
+// no remaining uses AND executing it can affect nothing but the cycle
+// counter. That excludes, beyond the obvious (stores, calls, terminators):
+//   - integer div/rem (divide-by-zero crashes are observable behaviour);
+//   - loads and every intrinsic (they touch memory, the cache, the safe
+//     store, or can trap — the redundancy passes are the ones entitled to
+//     remove them, against a proven-identical instance);
+//   - kInput (consumes the input stream; removal would shift later reads);
+//   - kFuncAddr (its existence defines the coarse-CFI valid-target set via
+//     Module::ComputeAddressTaken);
+//   - kAlloca (frame layout is program-visible: alloca addresses flow into
+//     registers, and attack payloads are crafted against the concrete
+//     layout).
+#include "src/opt/analysis.h"
+#include "src/opt/pass_manager.h"
+
+namespace cpi::opt {
+namespace {
+
+using ir::BinOp;
+using ir::Instruction;
+using ir::Opcode;
+
+bool IsRemovablePure(const Instruction* inst) {
+  switch (inst->op()) {
+    case Opcode::kBinOp:
+      switch (inst->binop()) {
+        case BinOp::kSDiv:
+        case BinOp::kUDiv:
+        case BinOp::kSRem:
+        case BinOp::kURem:
+          return false;  // may crash on a zero divisor
+        default:
+          return true;
+      }
+    case Opcode::kCast:
+    case Opcode::kSelect:
+    case Opcode::kFieldAddr:
+    case Opcode::kIndexAddr:
+    case Opcode::kGlobalAddr:
+      return true;  // pure register computations; address *computation* does
+                    // not touch memory
+    default:
+      return false;
+  }
+}
+
+class DcePass final : public Pass {
+ public:
+  const char* name() const override { return "dce"; }
+
+  bool Run(ir::Module& module, PipelineContext& ctx, PassStats& stats) override {
+    if (!HasInstrumentation(module) || ctx.orphaned.empty()) {
+      return false;  // see HasInstrumentation: -O2-modelled baseline
+    }
+    bool changed = false;
+    for (const auto& f : module.functions()) {
+      // Only block-resident seeds: an orphan may itself have been deleted by
+      // a later elimination already.
+      std::unordered_set<const Instruction*> resident;
+      for (const auto& bb : f->blocks()) {
+        for (const Instruction* inst : bb->instructions()) {
+          resident.insert(inst);
+        }
+      }
+      std::vector<Instruction*> worklist;
+      for (const auto& bb : f->blocks()) {
+        for (Instruction* inst : bb->instructions()) {
+          if (ctx.orphaned.count(inst) > 0) {
+            worklist.push_back(inst);
+          }
+        }
+      }
+      std::unordered_set<const Instruction*> dead;
+      while (!worklist.empty()) {
+        Instruction* inst = worklist.back();
+        worklist.pop_back();
+        if (dead.count(inst) > 0 || resident.count(inst) == 0 || inst->HasUses() ||
+            !IsRemovablePure(inst)) {
+          continue;
+        }
+        // Capture operands before unregistering, then cascade into them.
+        std::vector<ir::Value*> ops(inst->operands().begin(), inst->operands().end());
+        inst->DropOperandUses();
+        dead.insert(inst);
+        ++stats.removed_instructions;
+        for (ir::Value* op : ops) {
+          if (op->value_kind() == ir::ValueKind::kInstruction && !op->HasUses()) {
+            worklist.push_back(static_cast<Instruction*>(op));
+          }
+        }
+      }
+      changed = changed || !dead.empty();
+      EraseInstructions(*f, dead);
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> CreateDcePass() { return std::make_unique<DcePass>(); }
+
+}  // namespace cpi::opt

@@ -1,0 +1,89 @@
+#include "src/opt/dominators.h"
+
+namespace cpi::opt {
+
+DominatorTree::DominatorTree(const Cfg& cfg) : cfg_(&cfg) {
+  const auto& rpo = cfg.rpo();
+  const size_t n = rpo.size();
+  constexpr size_t kUndef = static_cast<size_t>(-1);
+  idom_.assign(n, kUndef);
+  idom_[0] = 0;  // entry
+
+  auto intersect = [&](size_t a, size_t b) {
+    while (a != b) {
+      while (a > b) {
+        a = idom_[a];
+      }
+      while (b > a) {
+        b = idom_[b];
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 1; i < n; ++i) {
+      size_t new_idom = kUndef;
+      for (const ir::BasicBlock* p : cfg.predecessors(rpo[i])) {
+        const size_t pi = cfg.RpoIndex(p);
+        if (idom_[pi] == kUndef) {
+          continue;  // not yet processed
+        }
+        new_idom = new_idom == kUndef ? pi : intersect(pi, new_idom);
+      }
+      CPI_CHECK(new_idom != kUndef);  // reachable => has a processed pred
+      if (idom_[i] != new_idom) {
+        idom_[i] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  for (const ir::BasicBlock* bb : rpo) {
+    for (size_t k = 0; k < bb->instructions().size(); ++k) {
+      positions_[bb->instructions()[k]] = InstPos{bb, k};
+    }
+  }
+}
+
+const ir::BasicBlock* DominatorTree::idom(const ir::BasicBlock* bb) const {
+  const size_t i = cfg_->RpoIndex(bb);
+  return i == 0 ? nullptr : cfg_->rpo()[idom_[i]];
+}
+
+bool DominatorTree::Dominates(const ir::BasicBlock* a, const ir::BasicBlock* b) const {
+  const size_t ai = cfg_->RpoIndex(a);
+  size_t bi = cfg_->RpoIndex(b);
+  while (bi > ai) {
+    bi = idom_[bi];
+  }
+  return bi == ai;
+}
+
+bool DominatorTree::Dominates(const ir::Instruction* a, const ir::Instruction* b) const {
+  auto ita = positions_.find(a);
+  auto itb = positions_.find(b);
+  CPI_CHECK(ita != positions_.end() && itb != positions_.end());
+  if (ita->second.block == itb->second.block) {
+    return ita->second.index < itb->second.index;
+  }
+  return Dominates(ita->second.block, itb->second.block);
+}
+
+const ir::BasicBlock* DominatorTree::BlockOf(const ir::Instruction* inst) const {
+  auto it = positions_.find(inst);
+  return it == positions_.end() ? nullptr : it->second.block;
+}
+
+bool DominatorTree::DominatesAllReachableUses(const ir::Instruction* def) const {
+  for (const ir::Instruction* user : def->users()) {
+    if (BlockOf(user) != nullptr && !Dominates(def, user)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cpi::opt

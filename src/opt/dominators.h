@@ -1,0 +1,59 @@
+// Dominator tree over a Cfg (Cooper/Harvey/Kennedy's iterative algorithm).
+//
+// Supports both block-level and instruction-level dominance queries; the
+// redundancy-elimination pass uses the latter to decide whether an earlier
+// identical expression can stand in for a later one.
+#ifndef CPI_SRC_OPT_DOMINATORS_H_
+#define CPI_SRC_OPT_DOMINATORS_H_
+
+#include <unordered_map>
+
+#include "src/opt/cfg.h"
+
+namespace cpi::opt {
+
+class DominatorTree {
+ public:
+  explicit DominatorTree(const Cfg& cfg);
+
+  // Immediate dominator; nullptr for the entry block.
+  const ir::BasicBlock* idom(const ir::BasicBlock* bb) const;
+
+  // Reflexive: Dominates(b, b) is true. Both blocks must be reachable.
+  bool Dominates(const ir::BasicBlock* a, const ir::BasicBlock* b) const;
+
+  // Instruction-level: true when `a` executes before `b` on every path that
+  // reaches `b` (same block: `a` strictly earlier; different blocks: a's
+  // block dominates b's block). Both must be block-resident and reachable.
+  bool Dominates(const ir::Instruction* a, const ir::Instruction* b) const;
+
+  // The block an instruction resides in; nullptr when it is not resident in
+  // a reachable block.
+  const ir::BasicBlock* BlockOf(const ir::Instruction* inst) const;
+
+  // Gate for ReplaceAllUsesWith-based rewrites. The verifier does not
+  // enforce dominance, so a user may execute *before* `def` and read its
+  // register pre-definition; rewiring such a user would change what that
+  // read observes. True when every user that can execute (lives in a
+  // reachable block) is dominated by `def` — unreachable users never run,
+  // so rewiring them is harmless.
+  bool DominatesAllReachableUses(const ir::Instruction* def) const;
+
+  const Cfg& cfg() const { return *cfg_; }
+
+ private:
+  const Cfg* cfg_;
+  // idom, indexed by RPO position; entry maps to itself.
+  std::vector<size_t> idom_;
+  // Block + index of every block-resident instruction, for same-block order
+  // queries.
+  struct InstPos {
+    const ir::BasicBlock* block = nullptr;
+    size_t index = 0;
+  };
+  std::unordered_map<const ir::Instruction*, InstPos> positions_;
+};
+
+}  // namespace cpi::opt
+
+#endif  // CPI_SRC_OPT_DOMINATORS_H_

@@ -1,0 +1,165 @@
+// Mem2reg-style promotion of non-escaping scalar safe-stack allocas.
+//
+// The pass forwards loads of a single-store alloca to the stored value and
+// deletes the loads; the store and the alloca themselves are kept. That
+// split matters for the O0/O1 differential contract:
+//
+//   - Only *safe-stack* residents (StackKind::kSafe under an active safe
+//     stack) are promoted. The safe region is unreachable to memory errors
+//     by construction (§3.2.3 isolation), so the slot provably holds the
+//     stored value at every dominated load — even while an attack is
+//     actively corrupting regular memory. A default-stack scalar enjoys no
+//     such guarantee: an overflow in an adjacent buffer may legally change
+//     what the O0 load observes, and forwarding would mask it.
+//   - Keeping the store and alloca keeps frame layout and memory contents
+//     bit-identical to O0. Alloca addresses are program-visible values and
+//     attack payloads are crafted against the concrete layout; a removed
+//     read is invisible to both, a moved frame slot is not.
+//   - The stored value must provably carry no based-on metadata
+//     (MetaNoneAnalysis): a plain load produces a metadata-free register,
+//     and forwarding must reproduce that exact (value, meta) pair.
+//
+// Loops: a load observes the *most recent* execution of the store, so the
+// forwarded value's own definition must not be able to re-execute between
+// the store and the load. Constants and arguments never re-execute; an
+// instruction defined in the store's own block re-executes only together
+// with the store; in an acyclic CFG nothing re-executes at all.
+#include <unordered_map>
+
+#include "src/opt/analysis.h"
+#include "src/opt/dominators.h"
+#include "src/opt/pass_manager.h"
+
+namespace cpi::opt {
+namespace {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::StackKind;
+using ir::Value;
+
+class Mem2RegPass final : public Pass {
+ public:
+  const char* name() const override { return "mem2reg"; }
+
+  bool Run(ir::Module& module, PipelineContext& ctx, PassStats& stats) override {
+    // Only safe-stack slots are attack-immune (see above), and — like every
+    // pass — the work must target instrumentation overhead
+    // (HasInstrumentation), not program-level redundancy the vanilla
+    // baseline also carries.
+    if (!module.protection().safe_stack || !HasInstrumentation(module)) {
+      return false;
+    }
+    bool changed = false;
+    for (const auto& f : module.functions()) {
+      if (f->blocks().empty()) {
+        continue;
+      }
+      changed = PromoteInFunction(*f, ctx, stats) || changed;
+    }
+    return changed;
+  }
+
+ private:
+  bool PromoteInFunction(ir::Function& f, PipelineContext& ctx, PassStats& stats) {
+    const Cfg cfg(f);
+    const DominatorTree dt(cfg);
+    MetaNoneAnalysis meta;
+
+    // Block residency, for reachability and same-block checks.
+    std::unordered_map<const Instruction*, const ir::BasicBlock*> block_of;
+    for (const auto& bb : f.blocks()) {
+      for (const Instruction* inst : bb->instructions()) {
+        block_of[inst] = bb.get();
+      }
+    }
+    auto reachable = [&](const Instruction* inst) {
+      auto it = block_of.find(inst);
+      return it != block_of.end() && cfg.IsReachable(it->second);
+    };
+
+    std::unordered_set<const Instruction*> dead;
+    for (const auto& bb : f.blocks()) {
+      if (!cfg.IsReachable(bb.get())) {
+        continue;
+      }
+      for (Instruction* inst : bb->instructions()) {
+        if (inst->op() != Opcode::kAlloca || inst->stack_kind() != StackKind::kSafe) {
+          continue;
+        }
+        const ir::Type* t = inst->extra_type();
+        if (!t->IsInt() && !t->IsFloat() && !t->IsPointer()) {
+          continue;  // direct scalar accesses only
+        }
+
+        const AllocaUses uses = AnalyzeAllocaUses(inst);
+        if (uses.escapes || uses.stores.size() != 1 || uses.loads.empty()) {
+          continue;
+        }
+        Instruction* store = uses.stores[0];
+        Value* value = store->operand(0);
+        if (value->type() != t || !reachable(store)) {
+          continue;
+        }
+        if (!meta.DefinitelyNoMeta(value)) {
+          continue;
+        }
+        if (!ValueStableAcrossReexecution(value, store, cfg, dt, block_of)) {
+          continue;
+        }
+
+        for (Instruction* load : uses.loads) {
+          if (dead.count(load) > 0 || !reachable(load) || !dt.Dominates(store, load)) {
+            continue;
+          }
+          // A use-before-def user would read the load's register before the
+          // load ran; rewiring it would change that read (verifier-legal IR).
+          if (!dt.DominatesAllReachableUses(load)) {
+            continue;
+          }
+          load->ReplaceAllUsesWith(value);
+          ctx.RecordOperands(load);
+          load->DropOperandUses();
+          dead.insert(load);
+          ++stats.forwarded_loads;
+          ++stats.removed_instructions;
+        }
+      }
+    }
+
+    EraseInstructions(f, dead);
+    return !dead.empty();
+  }
+
+  // The slot's content at a dominated load equals the value operand's
+  // register only if the operand cannot be (re)defined between the store and
+  // the load. Constants and arguments are immutable; an instruction operand
+  // must execute *before* the store (dominate it), and — when the CFG has
+  // loops — must sit in the store's own block so a re-execution of the
+  // definition always re-executes the store with it.
+  static bool ValueStableAcrossReexecution(
+      const Value* value, const Instruction* store, const Cfg& cfg,
+      const DominatorTree& dt,
+      const std::unordered_map<const Instruction*, const ir::BasicBlock*>& block_of) {
+    if (value->IsConstant() || value->value_kind() == ir::ValueKind::kArgument) {
+      return true;
+    }
+    if (value->value_kind() != ir::ValueKind::kInstruction) {
+      return false;
+    }
+    const auto* def = static_cast<const Instruction*>(value);
+    auto dit = block_of.find(def);
+    auto sit = block_of.find(store);
+    if (dit == block_of.end() || !cfg.IsReachable(dit->second) ||
+        !dt.Dominates(def, store)) {
+      return false;
+    }
+    return !cfg.HasBackEdge() || dit->second == sit->second;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> CreateMem2RegPass() { return std::make_unique<Mem2RegPass>(); }
+
+}  // namespace cpi::opt

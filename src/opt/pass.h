@@ -1,0 +1,73 @@
+// The optimization-pass interface and its statistics record.
+//
+// A pass rewrites a module in place. It may delete block-resident
+// instructions (after DropOperandUses) and rewire values with
+// ReplaceAllUsesWith, but must keep use-lists exact: the pass manager
+// rebuilds them once before the pipeline and verifies the module after every
+// pass, so a buggy pass fails loudly rather than corrupting a later one.
+#ifndef CPI_SRC_OPT_PASS_H_
+#define CPI_SRC_OPT_PASS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/ir/module.h"
+
+namespace cpi::opt {
+
+// Per-pass statistics, reported through core::CompileOutput into the
+// Table 2-style compile-stats bench.
+struct PassStats {
+  std::string pass;
+  uint64_t removed_instructions = 0;  // block-resident instructions deleted
+  uint64_t eliminated_checks = 0;     // bounds/assert/CFI checks among them
+  uint64_t eliminated_safe_store_ops = 0;  // safe-store get/set intrinsics
+  uint64_t eliminated_seal_ops = 0;        // PtrEnc seal/auth intrinsics
+  uint64_t forwarded_loads = 0;            // loads replaced by a known value
+  uint64_t leaf_ret_elisions = 0;          // pure-leaf frames whose return
+                                           // token skips PAC sign/auth
+};
+
+// State shared along one pipeline run. `orphaned` collects the operand
+// instructions of everything the passes deleted: dead-code elimination is
+// *seeded* from this set (plus its transitive operands), so it only sweeps
+// code that the optimizer itself orphaned. Pre-existing dead code also
+// exists in the vanilla baseline — removing it would make protected runs
+// faster than the baseline they are measured against.
+struct PipelineContext {
+  std::unordered_set<const ir::Instruction*> orphaned;
+
+  // Call right before DropOperandUses() on an instruction being deleted.
+  void RecordOperands(const ir::Instruction* inst) {
+    for (const ir::Value* v : inst->operands()) {
+      if (v->value_kind() == ir::ValueKind::kInstruction) {
+        orphaned.insert(static_cast<const ir::Instruction*>(v));
+      }
+    }
+  }
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  // Returns true when the module changed.
+  virtual bool Run(ir::Module& module, PipelineContext& ctx, PassStats& stats) = 0;
+};
+
+// True when instrumentation inserted runtime intrinsics into the module.
+// The optimizer is an intentional no-op on uninstrumented modules: the
+// workload generators model binaries already compiled at -O2 (the paper's
+// baseline), so the only redundancy in scope is what instrumentation
+// introduces — and keeping vanilla runs byte-identical across opt levels
+// keeps every overhead denominator stable.
+inline bool HasInstrumentation(const ir::Module& module) {
+  const ir::ProtectionFlags& p = module.protection();
+  return p.cpi || p.cps || p.softbound || p.cfi || p.ptrenc;
+}
+
+}  // namespace cpi::opt
+
+#endif  // CPI_SRC_OPT_PASS_H_

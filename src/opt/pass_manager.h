@@ -1,0 +1,60 @@
+// Runs an ordered pipeline of optimization passes over a module.
+//
+// Invariants enforced here rather than in every pass:
+//   - use-lists are rebuilt (Module::RecomputeUses) before the first pass;
+//   - after every pass the module is re-numbered and re-verified
+//     (ir::VerifyModule) — ARCHITECTURE.md's "verify after every pass" rule;
+//   - per-pass statistics are collected into an OptReport.
+#ifndef CPI_SRC_OPT_PASS_MANAGER_H_
+#define CPI_SRC_OPT_PASS_MANAGER_H_
+
+#include <memory>
+
+#include "src/opt/pass.h"
+
+namespace cpi::opt {
+
+struct OptReport {
+  std::vector<PassStats> passes;
+
+  uint64_t TotalRemoved() const {
+    uint64_t n = 0;
+    for (const PassStats& s : passes) {
+      n += s.removed_instructions;
+    }
+    return n;
+  }
+  uint64_t TotalEliminatedChecks() const {
+    uint64_t n = 0;
+    for (const PassStats& s : passes) {
+      n += s.eliminated_checks;
+    }
+    return n;
+  }
+};
+
+class PassManager {
+ public:
+  void Add(std::unique_ptr<Pass> pass);
+
+  // Runs the pipeline; the module must verify on entry and is left verified,
+  // re-numbered and with exact use-lists.
+  OptReport Run(ir::Module& module);
+
+  size_t size() const { return passes_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+// --- standard pipeline ------------------------------------------------------
+// Factories for the built-in passes; core::Compiler assembles the pipeline
+// (standard passes, then scheme-contributed cleanup, then DCE last).
+std::unique_ptr<Pass> CreateMem2RegPass();
+std::unique_ptr<Pass> CreateRedundancyEliminationPass();
+std::unique_ptr<Pass> CreateSealElisionPass();
+std::unique_ptr<Pass> CreateDcePass();
+
+}  // namespace cpi::opt
+
+#endif  // CPI_SRC_OPT_PASS_MANAGER_H_

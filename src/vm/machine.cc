@@ -561,6 +561,9 @@ bool Machine::PushFrame(const Function* callee, const std::vector<uint64_t>& arg
     uint64_t slot_word = f.token;
     if (module_.protection().ptrenc) {
       // PAC-style prologue: sign the saved return token against its slot.
+      // Always — even for ret_token_elidable leaves — so the frame image in
+      // memory is byte-identical across opt levels; leaves elide only the
+      // epilogue authenticate (see DoRet).
       slot_word = sealer_.Seal(f.token, f.ret_slot);
       ChargeSeal();
     }
@@ -1041,15 +1044,26 @@ void Machine::DoRet(Frame& f, bool has_value, const Ops& ops) {
     regular_.ReadU64(f.ret_slot, &token);
     ChargeRegularAccess(f.ret_slot);
     if (module_.protection().ptrenc) {
-      // PAC-style epilogue: authenticate before the token may steer control.
-      ChargeAuth();
-      uint64_t stripped = 0;
-      if (!sealer_.Auth(token, f.ret_slot, &stripped)) {
-        Abort(Violation::kPointerAuthFailure,
-              "ptrenc: saved return address failed authentication");
-        return;
+      // Leaf-frame elision (ir::Function::ret_token_elidable): a provably
+      // pure leaf cannot have written memory while its frame was live, so
+      // the slot must still hold the prologue's sealed word — verified by
+      // recomputation, no authenticate charged. Anything else (including a
+      // word this check unexpectedly rejects) takes the exact O0 path.
+      if (f.func->ret_token_elidable() &&
+          token == sealer_.Seal(f.token, f.ret_slot)) {
+        token = f.token;
+      } else {
+        // PAC-style epilogue: authenticate before the token may steer
+        // control.
+        ChargeAuth();
+        uint64_t stripped = 0;
+        if (!sealer_.Auth(token, f.ret_slot, &stripped)) {
+          Abort(Violation::kPointerAuthFailure,
+                "ptrenc: saved return address failed authentication");
+          return;
+        }
+        token = stripped;
       }
-      token = stripped;
     }
   }
 
