@@ -37,6 +37,12 @@ inline core::Config BaseConfig(const Flags& flags) {
   return config;
 }
 
+inline void PrintUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--time] [--scale N|small] [--jobs N] [--opt N]\n",
+               argv0);
+}
+
 inline Flags Parse(int argc, char** argv) {
   Flags flags;
   for (int i = 1; i < argc; ++i) {
@@ -62,6 +68,13 @@ inline Flags Parse(int argc, char** argv) {
         std::fprintf(stderr, "invalid --opt; using 0\n");
         flags.opt = 0;
       }
+    } else {
+      // Unknown (or value-less) arguments used to be silently ignored, so a
+      // typo like `--job 4` recorded a whole table under default settings.
+      // Fail loudly instead.
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      PrintUsage(argv[0]);
+      std::exit(2);
     }
   }
   if (flags.jobs == 0) {

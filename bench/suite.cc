@@ -357,25 +357,59 @@ int main(int argc, char** argv) {
   }
   table_wall_ms["table4_webserver"] = table4_watch.Ms();
 
+  // Table 4 "concurrent": the same scenarios as multi-worker servers on the
+  // VM's thread scheduler (per-thread safe stacks, shared safe store), plus
+  // the producer/consumer pair. Deterministic at any --jobs value and any
+  // scheduler quantum — the differential tests enforce both.
+  Stopwatch table4c_watch;
+  const auto mt_ms = cpi::workloads::MeasureWorkloads(
+      cpi::workloads::ConcurrentServer(), overhead_protections, flags.scale, {},
+      flags.jobs);
+  OverheadTable table4_concurrent;
+  table4_concurrent.columns = overhead_protections;
+  for (const auto& m : mt_ms) {
+    table4_concurrent.rows.push_back(&m);
+  }
+  table_wall_ms["table4_concurrent"] = table4c_watch.Ms();
+
   // -------------------------------------------------------------------------
   // §5.1 RIPE matrix (one row per registry RipeRow) and Fig. 5 (defense
   // rows: matrix verdict + average overhead on the Table-3 subset).
+  // One row per registry RipeRow scheme; `attacks` reports the matrix size
+  // (the per-scheme result count — identical across schemes, since every
+  // scheme runs the same spec list).
+  const auto run_ripe_table = [&flags](
+      std::vector<cpi::attacks::AttackResult> (*run)(const Config&, int),
+      std::vector<RipeRow>* rows, int* attacks) {
+    for (const ProtectionScheme* s : cpi::core::SchemeRegistry::RipeRows()) {
+      Config config;
+      config.protection = s->id();
+      RipeRow row;
+      row.scheme = s;
+      *attacks = 0;
+      for (const auto& r : run(config, flags.jobs)) {
+        ++row.counts[static_cast<int>(r.outcome)];
+        ++*attacks;
+      }
+      rows->push_back(row);
+    }
+  };
+
   Stopwatch ripe_watch;
   std::vector<RipeRow> ripe_rows;
   int ripe_attacks = 0;
-  for (const ProtectionScheme* s : cpi::core::SchemeRegistry::RipeRows()) {
-    Config config;
-    config.protection = s->id();
-    RipeRow row;
-    row.scheme = s;
-    ripe_attacks = 0;
-    for (const auto& r : cpi::attacks::RunAttackMatrix(config, flags.jobs)) {
-      ++row.counts[static_cast<int>(r.outcome)];
-      ++ripe_attacks;
-    }
-    ripe_rows.push_back(row);
-  }
+  run_ripe_table(&cpi::attacks::RunAttackMatrix, &ripe_rows, &ripe_attacks);
   table_wall_ms["ripe_effectiveness"] = ripe_watch.Ms();
+
+  // Cross-thread rows: thread A corrupting thread B's saved return address
+  // (regular slot) and probing its safe-stack home. A separate table so the
+  // historical ripe_effectiveness payload stays byte-identical.
+  Stopwatch ripec_watch;
+  std::vector<RipeRow> ripe_concurrent_rows;
+  int ripe_concurrent_attacks = 0;
+  run_ripe_table(&cpi::attacks::RunCrossThreadMatrix, &ripe_concurrent_rows,
+                 &ripe_concurrent_attacks);
+  table_wall_ms["ripe_concurrent"] = ripec_watch.Ms();
 
   Stopwatch fig5_watch;
   const std::vector<std::string> fig5_subset = {"401.bzip2", "447.dealII", "458.sjeng",
@@ -536,6 +570,9 @@ int main(int argc, char** argv) {
     std::printf(",\"table4_webserver\":");
     JsonOverheadTable(table4, /*lang=*/false, /*fails=*/false);
 
+    std::printf(",\"table4_concurrent\":");
+    JsonOverheadTable(table4_concurrent, /*lang=*/false, /*fails=*/false);
+
     std::printf(",\"fig4_phoronix\":");
     JsonOverheadTable(fig4, /*lang=*/false, /*fails=*/false);
 
@@ -585,6 +622,17 @@ int main(int argc, char** argv) {
     std::printf(",\"ripe_effectiveness\":{\"attacks\":%d,\"rows\":[", ripe_attacks);
     for (size_t i = 0; i < ripe_rows.size(); ++i) {
       const RipeRow& r = ripe_rows[i];
+      std::printf("%s{\"name\":\"%s\",\"hijacked\":%d,\"prevented\":%d,"
+                  "\"crashed\":%d,\"no_effect\":%d}",
+                  i == 0 ? "" : ",", r.scheme->name(), r.counts[0], r.counts[1],
+                  r.counts[2], r.counts[3]);
+    }
+    std::printf("]}");
+
+    std::printf(",\"ripe_concurrent\":{\"attacks\":%d,\"rows\":[",
+                ripe_concurrent_attacks);
+    for (size_t i = 0; i < ripe_concurrent_rows.size(); ++i) {
+      const RipeRow& r = ripe_concurrent_rows[i];
       std::printf("%s{\"name\":\"%s\",\"hijacked\":%d,\"prevented\":%d,"
                   "\"crashed\":%d,\"no_effect\":%d}",
                   i == 0 ? "" : ",", r.scheme->name(), r.counts[0], r.counts[1],
@@ -708,6 +756,8 @@ int main(int argc, char** argv) {
                      /*lang=*/false);
   PrintOverheadTable("Table 4 — web-server stack throughput overhead", table4,
                      /*lang=*/false);
+  PrintOverheadTable("Table 4 (concurrent) — multi-worker servers, simulated threads",
+                     table4_concurrent, /*lang=*/false);
   PrintOverheadTable("Fig. 4 — Phoronix suite performance overhead", fig4,
                      /*lang=*/false);
 
@@ -764,6 +814,19 @@ int main(int argc, char** argv) {
   {
     Table t({"Protection", "Hijacked", "Prevented", "Crashed", "No effect"});
     for (const RipeRow& r : ripe_rows) {
+      t.AddRow({r.scheme->name(), std::to_string(r.counts[0]),
+                std::to_string(r.counts[1]), std::to_string(r.counts[2]),
+                std::to_string(r.counts[3])});
+    }
+    t.Print();
+    std::printf("\n");
+  }
+
+  std::printf("Cross-thread attack matrix: %d combinations (thread A vs thread B)\n\n",
+              ripe_concurrent_attacks);
+  {
+    Table t({"Protection", "Hijacked", "Prevented", "Crashed", "No effect"});
+    for (const RipeRow& r : ripe_concurrent_rows) {
       t.AddRow({r.scheme->name(), std::to_string(r.counts[0]),
                 std::to_string(r.counts[1]), std::to_string(r.counts[2]),
                 std::to_string(r.counts[3])});

@@ -39,6 +39,7 @@ const char* TargetName(Target t) {
     case Target::kStructFuncPtr: return "struct-func-ptr";
     case Target::kLongjmpBuffer: return "longjmp-buf";
     case Target::kVtablePointer: return "vtable-ptr";
+    case Target::kSafeStackSlot: return "safe-stack-slot";
   }
   CPI_UNREACHABLE();
 }
@@ -58,6 +59,9 @@ std::string AttackSpec::Name() const {
                      "/" + TargetName(target);
   if (gadget_address_taken) {
     name += "/addr-taken";
+  }
+  if (cross_thread) {
+    name += "/cross-thread";
   }
   return name;
 }
@@ -92,6 +96,19 @@ std::vector<AttackSpec> GenerateAttackMatrix() {
     }
   }
   return specs;
+}
+
+std::vector<AttackSpec> GenerateCrossThreadMatrix() {
+  // Both rows use the arbitrary-write primitive: unlike same-frame
+  // overflows, thread stacks are reached by address, and the per-thread
+  // stack layout is deterministic (vm::UnsafeStackTopFor /
+  // vm::SafeStackTopFor), exactly like mmap-predictable thread stacks.
+  return {
+      AttackSpec{Technique::kArbitraryWrite, Location::kStack, Target::kReturnAddress,
+                 /*gadget_address_taken=*/false, /*cross_thread=*/true},
+      AttackSpec{Technique::kArbitraryWrite, Location::kStack, Target::kSafeStackSlot,
+                 /*gadget_address_taken=*/false, /*cross_thread=*/true},
+  };
 }
 
 namespace {
@@ -131,6 +148,15 @@ class AttackProgramBuilder {
 
     const ir::FunctionType* void_fn_ty = t.FunctionTy(t.VoidTy(), {});
     void_fn_ptr_ty_ = t.PointerTo(void_fn_ty);
+
+    if (spec_.cross_thread) {
+      gadget_ = m->CreateFunction("gadget", void_fn_ty);
+      b.SetInsertPoint(gadget_->CreateBlock("entry"));
+      b.Output(b.I64(kGadgetMarker));
+      b.Ret();
+      BuildCrossThread(void_fn_ty);
+      return m;
+    }
 
     // The victim struct: buffer first, then the code-pointer-bearing fields.
     victim_ = t.GetOrCreateStruct(kVictimStruct);
@@ -184,6 +210,17 @@ class AttackProgramBuilder {
 
   TargetOffsets Offsets(const vm::ProgramLayout& layout) const {
     TargetOffsets off;
+    if (spec_.cross_thread) {
+      // The victim is the first spawned thread (tid 1); its root frame's
+      // saved-return slot sits 24 bytes below its stack top (16-byte bias +
+      // one pushed word) — on the regular stack, or on the thread's safe
+      // stack when the probe row asks for it.
+      off.target_addr = (spec_.target == Target::kSafeStackSlot
+                             ? vm::SafeStackTopFor(1)
+                             : vm::UnsafeStackTopFor(1)) -
+                        24;
+      return off;
+    }
     const uint64_t field_offset = UsesSeparateTarget() ? kBufBytes : TargetFieldOffset();
     off.target_offset = field_offset;
     switch (spec_.location) {
@@ -406,6 +443,56 @@ class AttackProgramBuilder {
     }
   }
 
+  // Cross-thread program:
+  //   victim_thread()    — parks in a yield loop long enough for the
+  //                        attacker to strike, then returns (the use)
+  //   attacker_thread()  — arbitrary-write primitive against the victim's
+  //                        deterministic stack slot
+  //   main()             — spawn victim (tid 1), spawn attacker (tid 2),
+  //                        join attacker then victim, output survival marker
+  void BuildCrossThread(const ir::FunctionType* void_fn_ty) {
+    (void)void_fn_ty;
+    IRBuilder& b = *b_;
+    auto& t = module_->types();
+
+    Function* victim = module_->CreateFunction("victim_thread", t.FunctionTy(t.I64(), {}));
+    {
+      b.SetInsertPoint(victim->CreateBlock("entry"));
+      Value* i_slot = b.Alloca(t.I64(), "i");
+      b.Store(b.I64(0), i_slot);
+      ir::BasicBlock* header = victim->CreateBlock("park.header");
+      ir::BasicBlock* body = victim->CreateBlock("park.body");
+      ir::BasicBlock* exit = victim->CreateBlock("park.exit");
+      b.Br(header);
+      b.SetInsertPoint(header);
+      // Generous budget: the attacker needs only a few dozen instructions,
+      // and every victim yield hands it a whole quantum.
+      b.CondBr(b.ICmpSLt(b.Load(i_slot), b.I64(200)), body, exit);
+      b.SetInsertPoint(body);
+      b.Yield();
+      b.Store(b.Add(b.Load(i_slot), b.I64(1)), i_slot);
+      b.Br(header);
+      b.SetInsertPoint(exit);
+      b.Ret(b.I64(0));  // the victim's return is the hijacked control transfer
+    }
+
+    Function* attacker = module_->CreateFunction("attacker_thread", t.FunctionTy(t.I64(), {}));
+    {
+      b.SetInsertPoint(attacker->CreateBlock("entry"));
+      EmitCorruption(attacker, /*buf=*/nullptr);  // arbitrary-write primitive
+      b.Ret(b.I64(0));
+    }
+
+    Function* main = module_->CreateFunction("main", t.FunctionTy(t.I64(), {}));
+    b.SetInsertPoint(main->CreateBlock("entry"));
+    Value* victim_tid = b.Spawn(victim, {}, "victim");
+    Value* attacker_tid = b.Spawn(attacker, {}, "attacker");
+    b.Join(attacker_tid);
+    b.Join(victim_tid);
+    b.Output(b.I64(kSurvivedMarker));
+    b.Ret(b.I64(0));
+  }
+
   void BuildMain() {
     IRBuilder& b = *b_;
     auto& t = module_->types();
@@ -545,6 +632,15 @@ AttackResult RunAttack(const AttackSpec& spec, const core::Config& config) {
 
 std::vector<AttackResult> RunAttackMatrix(const core::Config& config, int jobs) {
   const std::vector<AttackSpec> specs = GenerateAttackMatrix();
+  std::vector<AttackResult> results(specs.size());
+  ThreadPool pool(jobs);
+  pool.ParallelFor(specs.size(),
+                   [&](size_t i) { results[i] = RunAttack(specs[i], config); });
+  return results;
+}
+
+std::vector<AttackResult> RunCrossThreadMatrix(const core::Config& config, int jobs) {
+  const std::vector<AttackSpec> specs = GenerateCrossThreadMatrix();
   std::vector<AttackResult> results(specs.size());
   ThreadPool pool(jobs);
   pool.ParallelFor(specs.size(),

@@ -48,6 +48,10 @@ enum class Target {
   kStructFuncPtr,    // function pointer embedded in a struct after the buffer
   kLongjmpBuffer,    // jmp_buf-style structure holding a code pointer
   kVtablePointer,    // C++-style object: overwrite its vtable pointer
+  // Cross-thread only: the word where the victim thread's saved return
+  // address would live on its *safe* stack — a direct probe of the safe
+  // region's isolation under concurrent mutation (§3.2.3).
+  kSafeStackSlot,
 };
 
 const char* TechniqueName(Technique t);
@@ -62,13 +66,27 @@ struct AttackSpec {
   // putting it into coarse-grained CFI's valid target set — the CFI-bypass
   // variants of [19, 15, 9].
   bool gadget_address_taken = false;
+  // Cross-thread variant: thread A (the attacker) corrupts thread B's (the
+  // victim's) saved return address while B is parked in the scheduler. The
+  // victim stack layout is deterministic, so the attacker derives the slot
+  // address the way real exploits derive thread-stack locations from known
+  // mmap behaviour.
+  bool cross_thread = false;
 
   std::string Name() const;
 };
 
 // All valid combinations (invalid ones, e.g. arbitrary-write against a stack
 // return address, are skipped the way RIPE skips impossible exploits).
+// Single-threaded rows only; the historical matrix is frozen so recorded
+// tables stay byte-identical.
 std::vector<AttackSpec> GenerateAttackMatrix();
+
+// The cross-thread rows: thread A overwrites thread B's saved return
+// address on the regular stack (hijacks vanilla, neutralised by per-thread
+// safe stacks / sealed tokens) and probes the slot's safe-stack home (faults
+// on the isolation mechanism under every configuration).
+std::vector<AttackSpec> GenerateCrossThreadMatrix();
 
 enum class AttackOutcome { kHijacked, kPrevented, kCrashed, kNoEffect };
 
@@ -94,6 +112,9 @@ AttackResult RunAttack(const AttackSpec& spec, const core::Config& config);
 // Attacks are independent programs, so `jobs` > 1 runs them across a thread
 // pool; results are identical at any jobs value.
 std::vector<AttackResult> RunAttackMatrix(const core::Config& config, int jobs = 1);
+
+// Same, over the cross-thread rows.
+std::vector<AttackResult> RunCrossThreadMatrix(const core::Config& config, int jobs = 1);
 
 }  // namespace cpi::attacks
 

@@ -76,6 +76,7 @@ vm::RunResult Run(const ir::Module& module, const Config& config, const Input& i
   options.isolation = config.isolation;
   options.mpx_assist = config.mpx_assist;
   options.reference_interpreter = config.reference_interpreter;
+  options.quantum = config.thread_quantum;
   options.max_steps = config.max_steps;
   options.seed = config.seed;
   options.input_words = input.words;

@@ -66,6 +66,11 @@ struct Config {
   // program's output, exit code and protection verdicts bit-identical to O0
   // while cycle/access counters drop (tests/opt_test.cc enforces this).
   int opt_level = 0;
+  // Scheduling quantum for the VM's deterministic round-robin thread
+  // scheduler (vm::RunOptions::quantum). Irrelevant to single-threaded
+  // programs; race-free threaded workloads produce identical counters at
+  // any value.
+  uint64_t thread_quantum = 64;
   uint64_t max_steps = 200'000'000;
   uint64_t seed = 1;
 };

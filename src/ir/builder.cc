@@ -145,6 +145,31 @@ Value* IRBuilder::Call(Function* callee, std::vector<Value*> args, const std::st
   return inst;
 }
 
+Value* IRBuilder::Spawn(Function* worker, std::vector<Value*> args, const std::string& name) {
+  CPI_CHECK(worker != nullptr);
+  CPI_CHECK(args.size() == worker->type()->params().size());
+  // Join surfaces the worker's return value as an i64, so the root function
+  // of a thread must produce one.
+  CPI_CHECK(worker->type()->return_type()->IsInt());
+  Instruction* inst = Emit(Opcode::kSpawn, module_->types().I64());
+  inst->set_callee(worker);
+  for (Value* a : args) {
+    inst->AddOperand(a);
+  }
+  inst->set_name(name);
+  return inst;
+}
+
+Value* IRBuilder::Join(Value* tid, const std::string& name) {
+  CPI_CHECK(tid->type()->IsInt());
+  Instruction* inst = Emit(Opcode::kJoin, module_->types().I64());
+  inst->AddOperand(tid);
+  inst->set_name(name);
+  return inst;
+}
+
+void IRBuilder::Yield() { Emit(Opcode::kYield, module_->types().VoidTy()); }
+
 Value* IRBuilder::IndirectCall(Value* fnptr, std::vector<Value*> args, const std::string& name) {
   CPI_CHECK(IsCodePointer(fnptr->type()));
   const auto* fn_type =

@@ -63,6 +63,14 @@ class IRBuilder {
   // --- calls and control flow ---------------------------------------------
   Value* Call(Function* callee, std::vector<Value*> args, const std::string& name = "");
   Value* IndirectCall(Value* fnptr, std::vector<Value*> args, const std::string& name = "");
+  // --- simulated threading (vm::Scheduler) ---------------------------------
+  // Starts `worker` (which must return an integer) on a fresh simulated
+  // thread; the result is the new thread's id.
+  Value* Spawn(Function* worker, std::vector<Value*> args, const std::string& name = "");
+  // Blocks until the thread `tid` finishes; yields its return value.
+  Value* Join(Value* tid, const std::string& name = "");
+  // Ends the current thread's scheduling quantum.
+  void Yield();
   Value* LibCall(LibFunc f, std::vector<Value*> args, const std::string& name = "");
   Value* FuncAddr(Function* f, const std::string& name = "");
   Value* GlobalAddr(GlobalVariable* g, const std::string& name = "");

@@ -171,6 +171,7 @@ class Cloner {
             break;
           case Opcode::kCall:
           case Opcode::kFuncAddr:
+          case Opcode::kSpawn:
             ni->set_callee(func_map_.at(inst->callee()));
             break;
           case Opcode::kGlobalAddr:

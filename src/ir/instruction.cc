@@ -46,6 +46,9 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kInput: return "input";
     case Opcode::kOutput: return "output";
     case Opcode::kIntrinsic: return "intrinsic";
+    case Opcode::kSpawn: return "spawn";
+    case Opcode::kJoin: return "join";
+    case Opcode::kYield: return "yield";
   }
   CPI_UNREACHABLE();
 }

@@ -44,6 +44,13 @@ enum class Opcode {
   kInput,       // () -> i64 ; next word of program input
   kOutput,      // (v) -> void ; appends to observable program output
   kIntrinsic,   // runtime intrinsic inserted by instrumentation passes
+  // Simulated threading (vm::Scheduler). Spawn starts the named callee on a
+  // fresh simulated thread with its own safe/unsafe stacks and returns the
+  // thread id; join blocks until that thread's root function returns and
+  // yields its i64 return value; yield ends the current scheduling quantum.
+  kSpawn,       // direct callee + args -> i64 thread id
+  kJoin,        // (tid) -> i64 ; the joined thread's return value
+  kYield,       // () -> void
 };
 
 enum class BinOp {
@@ -154,7 +161,7 @@ class Instruction final : public Value {
   void set_field_index(unsigned i) { field_index_ = i; }
 
   Function* callee() const {
-    CPI_CHECK(op_ == Opcode::kCall || op_ == Opcode::kFuncAddr);
+    CPI_CHECK(op_ == Opcode::kCall || op_ == Opcode::kFuncAddr || op_ == Opcode::kSpawn);
     return callee_;
   }
   void set_callee(Function* f) { callee_ = f; }

@@ -54,6 +54,9 @@ void PrintInstructionTo(std::ostringstream& os, const Instruction& inst) {
     case Opcode::kCall:
       os << "call @" << inst.callee()->name();
       break;
+    case Opcode::kSpawn:
+      os << "spawn @" << inst.callee()->name();
+      break;
     case Opcode::kFuncAddr:
       os << "funcaddr @" << inst.callee()->name();
       return;

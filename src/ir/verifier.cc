@@ -241,6 +241,41 @@ class Verifier {
         }
         break;
       }
+      case Opcode::kSpawn: {
+        const Function* worker = inst.callee();
+        if (worker == nullptr) {
+          Error(where, "spawn without callee");
+          break;
+        }
+        if (!worker->type()->return_type()->IsInt()) {
+          Error(where, "spawn callee must return an integer (join's result)");
+        }
+        if (!inst.type()->IsInt()) {
+          Error(where, "spawn must produce an integer thread id");
+        }
+        const auto& params = worker->type()->params();
+        if (inst.operands().size() != params.size()) {
+          Error(where, "spawn argument count mismatch");
+          break;
+        }
+        for (size_t i = 0; i < params.size(); ++i) {
+          if (inst.operand(i)->type() != params[i]) {
+            Error(where, "spawn argument " + std::to_string(i) + " type mismatch");
+          }
+        }
+        break;
+      }
+      case Opcode::kJoin:
+        if (expect_operands(1)) {
+          expect_int(0);
+        }
+        if (!inst.type()->IsInt()) {
+          Error(where, "join must produce an integer");
+        }
+        break;
+      case Opcode::kYield:
+        expect_operands(0);
+        break;
       case Opcode::kIndirectCall: {
         if (inst.operands().empty() || !inst.operand(0)->type()->IsPointer() ||
             !IsCodePointer(inst.operand(0)->type())) {

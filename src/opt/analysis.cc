@@ -118,6 +118,11 @@ bool WritesMemory(const ir::Instruction* inst) {
     case Opcode::kStore:
     case Opcode::kCall:
     case Opcode::kIndirectCall:
+    // Thread ops are scheduling points: while the current thread is parked,
+    // any other thread may write memory, so they clobber like calls do.
+    case Opcode::kSpawn:
+    case Opcode::kJoin:
+    case Opcode::kYield:
       return true;
     case Opcode::kLibCall:
       return inst->lib_func() != ir::LibFunc::kStrlen &&

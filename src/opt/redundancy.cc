@@ -409,7 +409,10 @@ class RedundancyEliminationPass final : public Pass {
         const bool frees =
             inst->op() == Opcode::kFree ||
             (calls_may_free && (inst->op() == Opcode::kCall ||
-                                inst->op() == Opcode::kIndirectCall));
+                                inst->op() == Opcode::kIndirectCall ||
+                                inst->op() == Opcode::kSpawn ||
+                                inst->op() == Opcode::kJoin ||
+                                inst->op() == Opcode::kYield));
         const Value* confined_to = nullptr;  // the one alloca a bare store hits
         if (inst->op() == Opcode::kStore &&
             inst->operand(1)->value_kind() == ir::ValueKind::kInstruction &&

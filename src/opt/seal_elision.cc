@@ -54,6 +54,11 @@ bool IsPureLeaf(const ir::Function& f) {
         case Opcode::kIndirectCall:
         case Opcode::kMalloc:
         case Opcode::kFree:
+        // Thread ops hand control to other threads (which may write
+        // anything) and spawn itself writes the new thread's stacks.
+        case Opcode::kSpawn:
+        case Opcode::kJoin:
+        case Opcode::kYield:
           return false;
         case Opcode::kLibCall:
           if (inst->lib_func() != ir::LibFunc::kStrlen &&

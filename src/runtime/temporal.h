@@ -26,15 +26,40 @@ class TemporalIdService {
     return id;
   }
 
-  void Free(uint64_t id) { live_.erase(id); }
+  // Registers an externally minted id (the VM's per-thread id namespaces) as
+  // live. The id must be fresh: re-registering a live or already-freed id —
+  // or kStaticId — is a bookkeeping error, reported by a false return (and
+  // counted) so the caller can fail as loudly as a bad Free does.
+  bool Register(uint64_t id) {
+    const bool inserted = id != kStaticId && live_.insert(id).second;
+    if (!inserted) {
+      ++invalid_free_count_;
+    }
+    return inserted;
+  }
+
+  // Kills `id`. Returns false — and counts the event — for a double free or
+  // a free of kStaticId instead of silently accepting it: CETS-style
+  // temporal checking relies on dead ids staying dead, so a caller seeing
+  // false must treat the operation as a violation, not a no-op.
+  bool Free(uint64_t id) {
+    if (id == kStaticId || live_.erase(id) == 0) {
+      ++invalid_free_count_;
+      return false;
+    }
+    return true;
+  }
 
   bool IsLive(uint64_t id) const { return id == kStaticId || live_.count(id) > 0; }
 
   uint64_t live_count() const { return live_.size(); }
+  // Double frees / frees of kStaticId / re-registrations observed so far.
+  uint64_t invalid_free_count() const { return invalid_free_count_; }
 
  private:
   uint64_t next_id_ = 1;
   std::unordered_set<uint64_t> live_;
+  uint64_t invalid_free_count_ = 0;
 };
 
 }  // namespace cpi::runtime

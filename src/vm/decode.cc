@@ -202,6 +202,22 @@ std::unique_ptr<DecodedFunction> DecodeFunction(const Function& fn,
           op.op = MicroOp::kOutput;
           op.a = SlotFor(operands[0]);
           break;
+        case Opcode::kSpawn:
+          op.op = MicroOp::kSpawn;
+          op.callee = inst->callee();
+          op.arg_begin = static_cast<uint32_t>(out->args.size());
+          op.arg_count = static_cast<uint32_t>(operands.size());
+          for (const Value* v : operands) {
+            out->args.push_back(SlotFor(v));
+          }
+          break;
+        case Opcode::kJoin:
+          op.op = MicroOp::kJoin;
+          op.a = SlotFor(operands[0]);
+          break;
+        case Opcode::kYield:
+          op.op = MicroOp::kYield;
+          break;
         case Opcode::kIntrinsic:
           op.op = MicroOp::kIntrinsic;
           op.aux = static_cast<uint8_t>(inst->intrinsic());

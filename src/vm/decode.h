@@ -67,6 +67,9 @@ enum class MicroOp : uint8_t {
   kInput,
   kOutput,
   kIntrinsic,
+  kSpawn,
+  kJoin,
+  kYield,
   kCount,
 };
 

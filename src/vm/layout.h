@@ -39,6 +39,39 @@ inline constexpr uint64_t kSafeRegionBase = 0x6000'0000'0000ULL;
 // Safe stacks grow down from here.
 inline constexpr uint64_t kSafeStackTop = 0x6f00'0000'0000ULL;
 
+// --- simulated threads (vm::Scheduler) --------------------------------------
+// Every simulated thread owns a private unsafe-stack region in regular
+// memory and a private safe-stack region in the safe region (CPI's safe
+// stacks are per-thread by design, §3.2.3/§3.2.4). Regions are strided down
+// from the single-thread tops, so thread 0 — the main thread — keeps exactly
+// the classic layout and single-threaded programs are laid out (and charged)
+// byte-identically to the pre-scheduler VM. The stride exceeds the mapped
+// region size, leaving an unmapped guard gap between consecutive stacks.
+inline constexpr uint64_t kMaxThreads = 16;
+inline constexpr uint64_t kStackRegionBytes = 4ULL << 20;        // mapped per stack
+inline constexpr uint64_t kThreadStackStride = 0x0080'0000ULL;   // 8 MiB apart
+// Spawned threads allocate from private heap arenas carved from the top of
+// the heap range, so concurrent mallocs produce schedule-independent
+// addresses (per-thread arenas, like production allocators). Thread 0 keeps
+// growing from kHeapBase; its limit shrinks below the lowest spawned arena.
+inline constexpr uint64_t kThreadHeapBytes = 0x0200'0000ULL;     // 32 MiB arena
+
+inline constexpr uint64_t UnsafeStackTopFor(uint64_t tid) {
+  return kStackTop - tid * kThreadStackStride;
+}
+inline constexpr uint64_t SafeStackTopFor(uint64_t tid) {
+  return kSafeStackTop - tid * kThreadStackStride;
+}
+// The thread whose safe-stack region contains `addr`; kMaxThreads when the
+// address falls outside every region (e.g. into a guard gap).
+inline constexpr uint64_t SafeStackOwnerOf(uint64_t addr) {
+  if (addr >= kSafeStackTop || addr < SafeStackTopFor(kMaxThreads - 1) - kStackRegionBytes) {
+    return kMaxThreads;
+  }
+  const uint64_t tid = (kSafeStackTop - 1 - addr) / kThreadStackStride;
+  return addr >= SafeStackTopFor(tid) - kStackRegionBytes ? tid : kMaxThreads;
+}
+
 // Return tokens: values the VM uses to represent saved return addresses in
 // stack memory. Deliberately a distinct range so a corrupted token is
 // distinguishable from a code address (jumping to one or the other behaves

@@ -51,7 +51,8 @@ constexpr uint64_t kFloatExtraCycles = 2;
 constexpr uint64_t kDivExtraCycles = 12;
 constexpr uint64_t kSfiMaskCycles = 1;
 constexpr uint64_t kLibCallSetupCycles = 8;
-constexpr uint64_t kStackRegionBytes = 4 << 20;
+constexpr uint64_t kSpawnCycles = 200;  // clone+stack setup, amortised
+constexpr uint64_t kJoinCycles = 24;    // futex-style wake handshake
 constexpr uint64_t kSbShadowBase = 0x5000'0000'0000ULL;
 constexpr uint64_t kMaxOutputWords = 1u << 22;
 
@@ -69,7 +70,6 @@ class Machine {
   Machine(const ir::Module& module, const RunOptions& options)
       : module_(module),
         options_(options),
-        cache_(options.cache),
         store_(options.use_safe_store ? runtime::CreateSafeStore(options.store) : nullptr),
         sealer_(runtime::DeriveSealKey(options.seed)) {}
 
@@ -93,6 +93,41 @@ class Machine {
     uint64_t token = 0;
     uint64_t cookie_addr = 0;  // 0: no cookie
     bool no_continuation = false;
+  };
+
+  // One simulated thread. Thread 0 is the main thread; its regions coincide
+  // with the classic single-thread layout, so a program that never spawns is
+  // executed — and charged — byte-identically to the pre-scheduler VM.
+  // Every thread owns: its call stack (frames), its unsafe-stack cursor in
+  // shared regular memory, a private ByteMemory-backed safe stack (the
+  // per-thread slice of Ms), a private L1 cache (threads model cores), a
+  // private heap arena + free lists (schedule-independent malloc addresses),
+  // and private ret-token/temporal-id sequences. Everything a thread shares
+  // — regular memory, the safe pointer store, the heap block table — is
+  // deterministic under the fixed-quantum round-robin below.
+  struct ThreadContext {
+    enum class State { kRunnable, kJoining, kDone };
+
+    ThreadContext(uint64_t id, const CacheModel::Config& cache_config)
+        : tid(id), cache(cache_config) {}
+
+    uint64_t tid = 0;
+    State state = State::kRunnable;
+    uint64_t join_target = 0;  // valid while kJoining
+    bool reaped = false;       // a finished thread may be joined exactly once
+    uint64_t exit_value = 0;
+    RegMeta exit_meta;
+
+    std::vector<Frame> frames;
+    uint64_t sp = 0;
+    uint64_t safe_sp = 0;
+    uint64_t token_counter = 0;
+    uint64_t temporal_counter = 0;  // spawned threads mint (tid<<48 | n) ids
+    uint64_t heap_next = 0;
+    uint64_t heap_limit = 0;
+    std::unordered_map<uint64_t, std::vector<uint64_t>> free_lists;  // size -> addrs
+    ByteMemory safe_stack;
+    CacheModel cache;
   };
 
   // --- setup ---------------------------------------------------------------
@@ -119,7 +154,7 @@ class Machine {
   void Cycles(uint64_t n) { result_.counters.cycles += n; }
   void ChargeAccess(uint64_t addr) {
     ++result_.counters.mem_accesses;
-    Cycles(cache_.Access(addr));
+    Cycles(cur_->cache.Access(addr));
   }
   void ChargeRegularAccess(uint64_t addr) {
     ChargeAccess(addr);
@@ -214,6 +249,16 @@ class Machine {
   void DoCast(Frame& f, CastKind kind, int src_bits, int dst_bits, const Ops& ops);
   void DoMalloc(Frame& f, uint64_t requested, uint32_t dest);
   void DoFree(Frame& f, uint64_t addr);
+  // Thread ops, shared by both engines.
+  void DoSpawn(Frame& f, const Function* callee, std::vector<uint64_t> args,
+               std::vector<RegMeta> metas, uint32_t dest);
+  void DoJoin(Frame& f, uint64_t tid, uint32_t dest);
+  void DoYield(Frame& f);
+  // Fresh allocation identifier for the current thread, written to *id.
+  // Thread 0 draws from the classic shared sequence (1, 2, ...); spawned
+  // threads mint from a private namespace so ids are schedule-independent.
+  // Returns false (after trapping) if the minted id failed to register.
+  bool AllocateTemporalId(uint64_t* id);
   // Argument marshalling + frame push shared by direct and indirect decoded
   // calls.
   void DoCallSlots(Frame& f, const DecodedOp& op, const Function* callee);
@@ -243,6 +288,16 @@ class Machine {
   static void OpInput(Machine& m, Frame& f, const DecodedOp& op);
   static void OpOutput(Machine& m, Frame& f, const DecodedOp& op);
   static void OpIntrinsic(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpSpawn(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpJoin(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpYield(Machine& m, Frame& f, const DecodedOp& op);
+
+  // --- scheduler ------------------------------------------------------------
+  // Rotates to the next runnable thread (round-robin by thread id, starting
+  // after the current one) and refills the quantum. Context switches charge
+  // no simulated cycles: with one runnable thread this is a no-op, which is
+  // what keeps single-thread programs cycle-identical at any quantum.
+  void Reschedule();
 
   // --- safe store helpers ---------------------------------------------------
   // A module whose instrumentation emits safe-store intrinsics must run with
@@ -268,8 +323,23 @@ class Machine {
   }
   void ChargeStoreTouches(const TouchList& t) {
     ++result_.counters.safe_store_ops;
+    if (concurrent_) {
+      // The safe pointer store is shared process state: once a second thread
+      // exists every store operation pays the scheme's synchronization cost.
+      Cycles(options_.costs.sync);
+    }
     for (int i = 0; i < t.count; ++i) {
       ChargeAccess(t.addrs[i]);
+    }
+  }
+  // Bulk safe-store mutation (checked memcpy/memmove/clear): `ops` per-word
+  // operations at 2 cycles each, each paying the same sync premium as a
+  // single store op once the run is concurrent.
+  void ChargeBulkStoreOps(uint64_t ops) {
+    result_.counters.safe_store_ops += ops;
+    Cycles(ops * 2);
+    if (concurrent_) {
+      Cycles(ops * options_.costs.sync);
     }
   }
   void ChargeCheck() {
@@ -312,26 +382,27 @@ class Machine {
   RunResult result_;
   bool done_ = false;
 
-  ByteMemory regular_;     // Mu
-  ByteMemory safe_stacks_; // byte-addressable part of Ms
-  CacheModel cache_;
-  std::unique_ptr<runtime::SafePointerStore> store_;
+  ByteMemory regular_;     // Mu (shared by every thread)
+  std::unique_ptr<runtime::SafePointerStore> store_;  // shared safe store
   runtime::PointerSealer sealer_;
   runtime::TemporalIdService temporal_;
   std::unordered_map<uint64_t, RegMeta> sb_shadow_;  // SoftBound baseline
 
-  std::vector<Frame> frames_;
+  // Threads. Contexts live for the whole run (joins and cross-thread frees
+  // consult finished threads); cur_ is the executing thread.
+  std::vector<std::unique_ptr<ThreadContext>> threads_;
+  ThreadContext* cur_ = nullptr;
+  size_t cur_index_ = 0;
+  uint64_t quantum_left_ = 1;
+  bool resched_ = false;    // current thread yielded / blocked / finished
+  bool concurrent_ = false; // a spawn has happened; sync costs now apply
+
   ProgramLayout layout_;  // flat per-ordinal address vectors
   std::unique_ptr<DecodedModule> decoded_;  // null when running the reference
 
-  // Heap.
-  uint64_t heap_next_ = kHeapBase;
+  // Heap block table (shared; arenas and free lists are per-thread).
   std::map<uint64_t, HeapBlock> heap_blocks_;
-  std::unordered_map<uint64_t, std::vector<uint64_t>> free_lists_;  // size -> addrs
 
-  uint64_t sp_ = kStackTop - 16;
-  uint64_t safe_sp_ = kSafeStackTop - 16;
-  uint64_t token_counter_ = 0;
   uint64_t cookie_value_ = 0;
   size_t input_word_pos_ = 0;
   size_t input_byte_pos_ = 0;
@@ -352,10 +423,17 @@ void Machine::LoadProgram() {
     }
   }
 
-  // Stacks.
+  // Main thread (tid 0) with the classic stack layout.
+  threads_.push_back(std::make_unique<ThreadContext>(0, options_.cache));
+  cur_ = threads_[0].get();
+  cur_index_ = 0;
+  cur_->sp = kStackTop - 16;
+  cur_->safe_sp = kSafeStackTop - 16;
+  cur_->heap_next = kHeapBase;
+  cur_->heap_limit = kHeapLimit;
   regular_.MapRange(kStackTop - kStackRegionBytes, kStackRegionBytes, /*writable=*/true);
-  safe_stacks_.MapRange(kSafeStackTop - kStackRegionBytes, kStackRegionBytes,
-                        /*writable=*/true);
+  cur_->safe_stack.MapRange(kSafeStackTop - kStackRegionBytes, kStackRegionBytes,
+                            /*writable=*/true);
 
   cookie_value_ = Rng(options_.seed ^ 0xc00c1e).NextU64() | 1;
 }
@@ -404,10 +482,20 @@ ByteMemory* Machine::Route(uint64_t addr, const RegMeta& meta, bool for_write) {
   // Compiler-generated access to a safe-stack object: the provenance of the
   // address proves it is based on an object that itself lives in the safe
   // region. Anything else — a forged or corrupted address — hits the
-  // isolation mechanism.
+  // isolation mechanism. Safe stacks are per-thread ByteMemory instances;
+  // the address (or, off the end of a region, the provenance base) selects
+  // the owning thread, so pointers to safe-stack objects passed between
+  // threads keep working — the safe region is one shared address space, as
+  // in the paper. A derived address landing in no thread's region faults on
+  // the base object's (or the current thread's) memory, exactly as an
+  // out-of-region access faulted on the old single safe-stack instance.
   if (meta.IsSafeValue() && meta.kind == EntryKind::kData && meta.lower >= kSafeRegionBase &&
       meta.lower <= meta.upper) {
-    return &safe_stacks_;
+    uint64_t owner = SafeStackOwnerOf(addr);
+    if (owner >= threads_.size()) {
+      owner = SafeStackOwnerOf(meta.lower);
+    }
+    return owner < threads_.size() ? &threads_[owner]->safe_stack : &cur_->safe_stack;
   }
   switch (options_.isolation) {
     case IsolationKind::kSegment:
@@ -518,7 +606,7 @@ void Machine::ChargeChunked(uint64_t addr, uint64_t len) {
 
 bool Machine::PushFrame(const Function* callee, const std::vector<uint64_t>& args,
                         const std::vector<RegMeta>& arg_meta, bool no_continuation) {
-  if (frames_.size() > 2000) {
+  if (cur_->frames.size() > 2000) {
     Crash("stack overflow: call depth limit");
     return false;
   }
@@ -539,24 +627,27 @@ bool Machine::PushFrame(const Function* callee, const std::vector<uint64_t>& arg
     f.dfunc = &decoded_->ForFunction(callee);
   }
   f.ip = 0;
-  f.saved_sp = sp_;
-  f.saved_safe_sp = safe_sp_;
+  f.saved_sp = cur_->sp;
+  f.saved_safe_sp = cur_->safe_sp;
   f.no_continuation = no_continuation;
-  f.token = kRetTokenBase + (++token_counter_ << 4);
+  // Ret tokens are per-thread sequences: the thread id in the high bits
+  // keeps tokens unique across threads while thread 0 reproduces the
+  // classic single-thread values bit for bit.
+  f.token = kRetTokenBase + (cur_->tid << 36) + (++cur_->token_counter << 4);
 
   const bool safe_stack = module_.protection().safe_stack;
   if (safe_stack) {
-    safe_sp_ -= 8;
-    f.ret_slot = safe_sp_;
+    cur_->safe_sp -= 8;
+    f.ret_slot = cur_->safe_sp;
     f.ret_slot_safe = true;
-    if (safe_stacks_.WriteU64(f.ret_slot, f.token) != MemFault::kNone) {
+    if (cur_->safe_stack.WriteU64(f.ret_slot, f.token) != MemFault::kNone) {
       Crash("stack overflow: safe stack exhausted");
       return false;
     }
     ChargeAccess(f.ret_slot);
   } else {
-    sp_ -= 8;
-    f.ret_slot = sp_;
+    cur_->sp -= 8;
+    f.ret_slot = cur_->sp;
     f.ret_slot_safe = false;
     uint64_t slot_word = f.token;
     if (module_.protection().ptrenc) {
@@ -573,33 +664,48 @@ bool Machine::PushFrame(const Function* callee, const std::vector<uint64_t>& arg
     }
     ChargeRegularAccess(f.ret_slot);
     if (callee->has_stack_cookie()) {
-      sp_ -= 8;
-      f.cookie_addr = sp_;
+      cur_->sp -= 8;
+      f.cookie_addr = cur_->sp;
       regular_.WriteU64(f.cookie_addr, cookie_value_);
       ChargeRegularAccess(f.cookie_addr);
     }
   }
 
-  frames_.push_back(std::move(f));
+  cur_->frames.push_back(std::move(f));
   return true;
 }
 
 void Machine::PopFrame() {
-  CPI_CHECK(!frames_.empty());
-  sp_ = frames_.back().saved_sp;
-  safe_sp_ = frames_.back().saved_safe_sp;
-  frames_.pop_back();
+  CPI_CHECK(!cur_->frames.empty());
+  cur_->sp = cur_->frames.back().saved_sp;
+  cur_->safe_sp = cur_->frames.back().saved_safe_sp;
+  cur_->frames.pop_back();
 }
 
 void Machine::ReturnToCaller(uint64_t value, const RegMeta& meta) {
   PopFrame();
-  if (frames_.empty()) {
-    done_ = true;
-    result_.status = RunStatus::kOk;
-    result_.exit_code = value;
+  if (cur_->frames.empty()) {
+    if (cur_->tid == 0) {
+      // Main returning ends the whole process, as exit() would.
+      done_ = true;
+      result_.status = RunStatus::kOk;
+      result_.exit_code = value;
+      return;
+    }
+    // A worker's root function returned: park the thread's result for join
+    // and wake any thread already blocked on it.
+    cur_->state = ThreadContext::State::kDone;
+    cur_->exit_value = value;
+    cur_->exit_meta = meta;
+    for (auto& t : threads_) {
+      if (t->state == ThreadContext::State::kJoining && t->join_target == cur_->tid) {
+        t->state = ThreadContext::State::kRunnable;
+      }
+    }
+    resched_ = true;
     return;
   }
-  Frame& caller = frames_.back();
+  Frame& caller = cur_->frames.back();
   CPI_CHECK(caller.pending_call != nullptr);
   if (!caller.pending_call->type()->IsVoid()) {
     SetReg(caller, caller.pending_call, value, meta);
@@ -624,6 +730,7 @@ RunResult Machine::Run() {
   CPI_CHECK(main_fn->args().empty());
   PushFrame(main_fn, {}, {}, /*no_continuation=*/false);
 
+  quantum_left_ = std::max<uint64_t>(options_.quantum, 1);
   if (options_.reference_interpreter) {
     while (!done_) {
       if (result_.counters.instructions >= options_.max_steps) {
@@ -631,22 +738,45 @@ RunResult Machine::Run() {
         break;
       }
       Step();
+      if ((resched_ || --quantum_left_ == 0) && !done_) {
+        Reschedule();
+      }
     }
   } else {
     RunDecodedLoop();
   }
 
-  result_.counters.cache_hits = cache_.hits();
-  result_.counters.cache_misses = cache_.misses();
+  // Per-thread caches and safe stacks aggregate into the run totals; the
+  // sums are order-independent, so they stay deterministic at any quantum.
+  for (const auto& t : threads_) {
+    result_.counters.cache_hits += t->cache.hits();
+    result_.counters.cache_misses += t->cache.misses();
+    result_.memory.safe_stack_bytes += t->safe_stack.mapped_bytes();
+  }
   result_.memory.regular_bytes = regular_.mapped_bytes();
   result_.memory.safe_store_bytes = store_ != nullptr ? store_->MemoryBytes() : 0;
-  result_.memory.safe_stack_bytes = safe_stacks_.mapped_bytes();
   result_.memory.safe_store_entries = store_ != nullptr ? store_->EntryCount() : 0;
   return result_;
 }
 
+void Machine::Reschedule() {
+  resched_ = false;
+  quantum_left_ = std::max<uint64_t>(options_.quantum, 1);
+  const size_t n = threads_.size();
+  for (size_t step = 1; step <= n; ++step) {
+    const size_t idx = (cur_index_ + step) % n;
+    if (threads_[idx]->state == ThreadContext::State::kRunnable) {
+      cur_index_ = idx;
+      cur_ = threads_[idx].get();
+      return;
+    }
+  }
+  // Every live thread is blocked in join: the process can never progress.
+  Crash("deadlock: all threads blocked");
+}
+
 void Machine::Step() {
-  Frame& f = frames_.back();
+  Frame& f = cur_->frames.back();
   CPI_CHECK(f.ip < f.bb->instructions().size());
   const Instruction* inst = f.bb->instructions()[f.ip];
   ++result_.counters.instructions;
@@ -659,7 +789,7 @@ void Machine::Step() {
       const uint64_t align = std::max<uint64_t>(ir::AlignmentOf(t), 1);
       const bool on_safe = module_.protection().safe_stack &&
                            inst->stack_kind() != StackKind::kUnsafe;
-      uint64_t& sp = on_safe ? safe_sp_ : sp_;
+      uint64_t& sp = on_safe ? cur_->safe_sp : cur_->sp;
       sp -= size;
       sp &= ~(align - 1);
       const uint64_t addr = sp;
@@ -815,6 +945,22 @@ void Machine::Step() {
     }
     case Opcode::kIntrinsic:
       ExecIntrinsic(f, inst);
+      break;
+    case Opcode::kSpawn: {
+      std::vector<uint64_t> args;
+      std::vector<RegMeta> metas;
+      for (size_t i = 0; i < inst->operands().size(); ++i) {
+        args.push_back(Eval(f, inst->operand(i)));
+        metas.push_back(EvalMeta(f, inst->operand(i)));
+      }
+      DoSpawn(f, inst->callee(), std::move(args), std::move(metas), inst->value_id());
+      break;
+    }
+    case Opcode::kJoin:
+      DoJoin(f, Eval(f, inst->operand(0)), inst->value_id());
+      break;
+    case Opcode::kYield:
+      DoYield(f);
       break;
   }
 }
@@ -979,24 +1125,42 @@ void Machine::ExecCallCommon(Frame& f, const Instruction* inst, const Function* 
 // ---------------------------------------------------------------------------
 // Heap
 
+bool Machine::AllocateTemporalId(uint64_t* id) {
+  if (cur_->tid == 0) {
+    *id = temporal_.Allocate();
+    return true;
+  }
+  *id = (cur_->tid << 48) | ++cur_->temporal_counter;
+  if (!temporal_.Register(*id)) {
+    // A collision means the per-thread namespace itself broke — fail as
+    // loudly as a bad Free does, not with a delayed temporal violation.
+    Crash("temporal: allocation id collision");
+    return false;
+  }
+  return true;
+}
+
 void Machine::DoMalloc(Frame& f, uint64_t requested, uint32_t dest) {
   const uint64_t size = std::max<uint64_t>((requested + 15) & ~15ULL, 16);
   Cycles(kAllocCycles);
   uint64_t addr = 0;
-  auto& free_list = free_lists_[size];
+  auto& free_list = cur_->free_lists[size];
   if (!free_list.empty()) {
     addr = free_list.back();
     free_list.pop_back();
   } else {
-    if (heap_next_ + size > kHeapLimit) {
+    if (cur_->heap_next + size > cur_->heap_limit) {
       Crash("out of memory");
       return;
     }
-    addr = heap_next_;
-    heap_next_ += size;
+    addr = cur_->heap_next;
+    cur_->heap_next += size;
     regular_.MapRange(addr, size, /*writable=*/true);
   }
-  const uint64_t id = temporal_.Allocate();
+  uint64_t id = 0;
+  if (!AllocateTemporalId(&id)) {
+    return;
+  }
   heap_blocks_[addr] = HeapBlock{size, id, true};
   SetRegId(f, dest, addr, RegMeta::Data(addr, addr + requested, id));
   ++f.ip;
@@ -1014,8 +1178,100 @@ void Machine::DoFree(Frame& f, uint64_t addr) {
     return;
   }
   it->second.live = false;
-  temporal_.Free(it->second.temporal_id);
-  free_lists_[it->second.size].push_back(addr);
+  if (!temporal_.Free(it->second.temporal_id)) {
+    // The block table already filters double-frees, so a rejected id means
+    // the allocation bookkeeping itself diverged — surface it loudly.
+    Crash("temporal: free of a dead or static allocation id");
+    return;
+  }
+  // Freed memory goes to the *freeing* thread's cache (tcmalloc-style):
+  // every thread's allocator state — and with it every future malloc
+  // address — is then a pure function of that thread's own operation
+  // stream, never of when another thread's free happened to be scheduled.
+  cur_->free_lists[it->second.size].push_back(addr);
+  ++f.ip;
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+
+void Machine::DoSpawn(Frame& f, const Function* callee, std::vector<uint64_t> args,
+                      std::vector<RegMeta> metas, uint32_t dest) {
+  if (threads_.size() >= kMaxThreads) {
+    Crash("spawn: thread limit reached");
+    return;
+  }
+  const uint64_t tid = threads_.size();
+  const uint64_t arena_base = kHeapLimit - tid * kThreadHeapBytes;
+  if (threads_[0]->heap_next > arena_base) {
+    // Thread 0's bump pointer already grew past where this thread's arena
+    // would start: carving it out would alias live allocations. Fail the
+    // spawn loudly instead of silently overlapping heaps.
+    Crash("spawn: heap arenas exhausted");
+    return;
+  }
+  Cycles(kSpawnCycles);
+  ++result_.counters.thread_spawns;
+  concurrent_ = true;
+
+  threads_.push_back(std::make_unique<ThreadContext>(tid, options_.cache));
+  ThreadContext* t = threads_.back().get();
+  t->sp = UnsafeStackTopFor(tid) - 16;
+  t->safe_sp = SafeStackTopFor(tid) - 16;
+  t->heap_next = arena_base;
+  t->heap_limit = arena_base + kThreadHeapBytes;
+  // Thread 0 grows upward from kHeapBase; cap it below the lowest arena so
+  // the regions can never interleave.
+  threads_[0]->heap_limit = std::min(threads_[0]->heap_limit, arena_base);
+  regular_.MapRange(UnsafeStackTopFor(tid) - kStackRegionBytes, kStackRegionBytes,
+                    /*writable=*/true);
+  t->safe_stack.MapRange(SafeStackTopFor(tid) - kStackRegionBytes, kStackRegionBytes,
+                         /*writable=*/true);
+
+  // The root frame is set up in the new thread's context (its token, its
+  // stacks, its cache), then control returns to the spawner; the new thread
+  // first runs when the scheduler rotates to it.
+  ThreadContext* spawner = cur_;
+  cur_ = t;
+  const bool ok = PushFrame(callee, args, metas, /*no_continuation=*/false);
+  cur_ = spawner;
+  if (!ok) {
+    return;
+  }
+  SetRegId(f, dest, tid, RegMeta::None());
+  ++f.ip;
+}
+
+void Machine::DoJoin(Frame& f, uint64_t tid, uint32_t dest) {
+  if (tid == 0 || tid == cur_->tid || tid >= threads_.size()) {
+    Crash("join: invalid thread id");
+    return;
+  }
+  ThreadContext& target = *threads_[tid];
+  if (target.state != ThreadContext::State::kDone) {
+    // Block and re-execute this join when the target finishes. The charge
+    // the main loop already made is rolled back so a join costs exactly one
+    // instruction no matter when (or whether) it had to wait — that is what
+    // keeps counters identical across quanta.
+    --result_.counters.instructions;
+    result_.counters.cycles -= kBaseCycles;
+    cur_->state = ThreadContext::State::kJoining;
+    cur_->join_target = tid;
+    resched_ = true;
+    return;  // ip unchanged
+  }
+  if (target.reaped) {
+    Crash("join: thread already joined");
+    return;
+  }
+  target.reaped = true;
+  Cycles(kJoinCycles);
+  SetRegId(f, dest, target.exit_value, target.exit_meta);
+  ++f.ip;
+}
+
+void Machine::DoYield(Frame& f) {
+  resched_ = true;
   ++f.ip;
 }
 
@@ -1038,7 +1294,7 @@ void Machine::DoRet(Frame& f, bool has_value, const Ops& ops) {
 
   uint64_t token = 0;
   if (f.ret_slot_safe) {
-    safe_stacks_.ReadU64(f.ret_slot, &token);
+    cur_->safe_stack.ReadU64(f.ret_slot, &token);
     ChargeAccess(f.ret_slot);
   } else {
     regular_.ReadU64(f.ret_slot, &token);
@@ -1088,8 +1344,8 @@ void Machine::DoRet(Frame& f, bool has_value, const Ops& ops) {
   if (target != nullptr) {
     ++result_.counters.hijack_transfers;
     PopFrame();
-    if (!frames_.empty()) {
-      frames_.back().pending_call = nullptr;
+    if (!cur_->frames.empty()) {
+      cur_->frames.back().pending_call = nullptr;
     }
     std::vector<uint64_t> args(target->args().size(), 0);
     std::vector<RegMeta> metas(target->args().size(), RegMeta::None());
@@ -1155,8 +1411,7 @@ void Machine::DoLibCall(Frame& f, LibFunc func, bool checked, const Ops& ops) {
     } else {
       store_->CopyRange(dst, src, n);
     }
-    result_.counters.safe_store_ops += n / 8 + 1;
-    Cycles((n / 8 + 1) * 2);
+    ChargeBulkStoreOps(n / 8 + 1);
   };
   // PtrEnc checked variants re-seal moved pointers: the storage location is
   // part of the MAC domain, so a sealed word copied to a new address must be
@@ -1188,8 +1443,7 @@ void Machine::DoLibCall(Frame& f, LibFunc func, bool checked, const Ops& ops) {
       return;
     }
     store_->ClearRange(dst, n);
-    result_.counters.safe_store_ops += n / 8 + 1;
-    Cycles((n / 8 + 1) * 2);
+    ChargeBulkStoreOps(n / 8 + 1);
   };
 
   auto copy_bytes = [&](uint64_t dst, const RegMeta& dm, uint64_t src, const RegMeta& sm,
@@ -1705,7 +1959,7 @@ void Machine::DoIntrinsic(Frame& f, IntrinsicId id, const Ops& ops) {
 // trap behaviour are identical, instruction for instruction.
 
 void Machine::OpAlloca(Machine& m, Frame& f, const DecodedOp& op) {
-  uint64_t& sp = op.flag ? m.safe_sp_ : m.sp_;
+  uint64_t& sp = op.flag ? m.cur_->safe_sp : m.cur_->sp;
   sp -= op.imm;
   sp &= ~op.imm2;  // imm2 = alignment - 1
   const uint64_t addr = sp;
@@ -1857,6 +2111,23 @@ void Machine::OpIntrinsic(Machine& m, Frame& f, const DecodedOp& op) {
   m.DoIntrinsic(f, static_cast<IntrinsicId>(op.aux), SlotOps{m, f, op});
 }
 
+void Machine::OpSpawn(Machine& m, Frame& f, const DecodedOp& op) {
+  std::vector<uint64_t> args(op.arg_count);
+  std::vector<RegMeta> metas(op.arg_count);
+  const OperandSlot* slots = f.dfunc->args.data() + op.arg_begin;
+  for (uint32_t i = 0; i < op.arg_count; ++i) {
+    args[i] = SlotVal(f, slots[i]);
+    metas[i] = SlotMeta(f, slots[i]);
+  }
+  m.DoSpawn(f, op.callee, std::move(args), std::move(metas), op.dest);
+}
+
+void Machine::OpJoin(Machine& m, Frame& f, const DecodedOp& op) {
+  m.DoJoin(f, SlotVal(f, op.a), op.dest);
+}
+
+void Machine::OpYield(Machine& m, Frame& f, const DecodedOp&) { m.DoYield(f); }
+
 // Indexed by MicroOp; must match the enum order in decode.h.
 const Machine::Handler Machine::kDispatch[static_cast<size_t>(MicroOp::kCount)] = {
     &Machine::OpAlloca,   &Machine::OpLoad,         &Machine::OpStore,
@@ -1866,6 +2137,7 @@ const Machine::Handler Machine::kDispatch[static_cast<size_t>(MicroOp::kCount)] 
     &Machine::OpFree,     &Machine::OpFuncAddr,     &Machine::OpGlobalAddr,
     &Machine::OpBr,       &Machine::OpCondBr,       &Machine::OpRet,
     &Machine::OpInput,    &Machine::OpOutput,       &Machine::OpIntrinsic,
+    &Machine::OpSpawn,    &Machine::OpJoin,         &Machine::OpYield,
 };
 
 void Machine::RunDecodedLoop() {
@@ -1874,7 +2146,7 @@ void Machine::RunDecodedLoop() {
       Trap(RunStatus::kOutOfFuel, Violation::kNone, "step budget exhausted");
       break;
     }
-    Frame& f = frames_.back();
+    Frame& f = cur_->frames.back();
     // Same malformed-IR guard as the reference Step(): a block missing its
     // terminator must abort loudly, not fall through into the next block's
     // flattened ops.
@@ -1883,6 +2155,9 @@ void Machine::RunDecodedLoop() {
     ++result_.counters.instructions;
     Cycles(kBaseCycles);
     kDispatch[static_cast<size_t>(op.op)](*this, f, op);
+    if ((resched_ || --quantum_left_ == 0) && !done_) {
+      Reschedule();
+    }
   }
 }
 

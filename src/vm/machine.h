@@ -49,6 +49,11 @@ struct OpCosts {
   uint64_t cfi_check = 3;  // coarse-CFI valid-set membership test
   uint64_t seal = 4;       // PAC-style sign (PtrEnc store / call setup)
   uint64_t auth = 4;       // PAC-style authenticate (PtrEnc load / return)
+  // Synchronization premium on every safe-pointer-store operation once the
+  // run has spawned a second thread (§3.2.3: the safe region is shared
+  // process state, so concurrent mutation needs lock-prefixed accesses).
+  // Single-threaded runs never pay it, keeping historical tables intact.
+  uint64_t sync = 2;
 };
 
 struct RunOptions {
@@ -68,6 +73,12 @@ struct RunOptions {
   // no store is ever allocated).
   bool use_safe_store = true;
   OpCosts costs;
+  // Scheduling quantum of the deterministic round-robin thread scheduler:
+  // how many instructions a runnable thread executes before the next one
+  // runs. Purely a simulated-interleaving knob — context switches are free
+  // in the cost model, and race-free programs produce identical counters at
+  // any quantum (tests/sched_test.cc sweeps it).
+  uint64_t quantum = 64;
   uint64_t seed = 1;  // stack cookie value derivation
   std::vector<uint64_t> input_words;
   std::vector<uint8_t> input_bytes;
@@ -85,6 +96,7 @@ struct Counters {
   uint64_t hijack_transfers = 0;  // control transfers via corrupted state
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  uint64_t thread_spawns = 0;  // simulated threads created (0 when single-threaded)
 };
 
 struct MemoryFootprint {

@@ -5,13 +5,22 @@
 namespace cpi::vm {
 
 void ByteMemory::MapRange(uint64_t start, uint64_t size, bool writable) {
+  if (size == 0) {
+    // An empty range maps nothing. Without this guard an unaligned `start`
+    // rounded `last` past `first` and silently mapped a full page,
+    // inflating mapped_bytes() — and with it the §5.2 memory tables.
+    return;
+  }
   InvalidateTranslationCache();
   const uint64_t first = start / kPageBytes;
   const uint64_t last = (start + size + kPageBytes - 1) / kPageBytes;
   for (uint64_t p = first; p < last; ++p) {
     Page& page = pages_[p];
     page.mapped = true;
-    page.writable = page.writable || writable;
+    // Remap semantics: the most recent mapping wins, exactly like mprotect.
+    // The old or-merge could never drop writability, so a page remapped
+    // read-only (code/constant data) stayed silently writable.
+    page.writable = writable;
   }
 }
 

@@ -26,7 +26,9 @@ class ByteMemory {
   static constexpr uint64_t kPageBytes = 4096;
 
   // Makes [start, start+size) accessible. Pages materialise lazily,
-  // zero-filled.
+  // zero-filled. A zero-size range maps nothing. Remapping is mprotect-like:
+  // every page the (page-rounded) range touches takes the new writability,
+  // the previous permission does not linger.
   void MapRange(uint64_t start, uint64_t size, bool writable);
 
   // Removes access (used when unsafe frames are popped so that dangling

@@ -1,0 +1,385 @@
+// Concurrent workloads: the Table 4 web-server scenarios re-run as
+// multi-worker servers on the VM's simulated thread scheduler, plus a
+// producer/consumer pointer-chasing pair.
+//
+// Every workload here is race-free by construction: workers operate on
+// disjoint request shards / locals slices / private heap allocations, share
+// only read-only tables (routes, opcode tables, the static page) and the
+// safe pointer store, and report partial checksums through join. That is
+// what makes the tables deterministic not just across --jobs and engines but
+// across *scheduler quanta*: each thread's instruction stream is independent
+// of how the round-robin interleaves it (tests/sched_test.cc sweeps the
+// quantum and asserts bit-identical counters).
+#include "src/workloads/common.h"
+#include "src/workloads/workloads.h"
+
+namespace cpi::workloads {
+namespace {
+
+using ir::Function;
+using ir::GlobalVariable;
+using ir::IRBuilder;
+using ir::Module;
+using ir::StructType;
+using ir::Value;
+
+constexpr uint64_t kWorkers = 4;
+
+// Folds the workers' partial checksums into the checksum global, in spawn
+// order, and emits the standard epilogue.
+void JoinWorkersAndFinish(IRBuilder& b, GlobalVariable* checksum,
+                          const std::vector<Value*>& tids) {
+  for (Value* tid : tids) {
+    AccumulateChecksum(b, checksum, b.Join(tid));
+  }
+  EmitChecksumAndRet(b, checksum);
+}
+
+// --- mt static page ----------------------------------------------------------
+// The Table 4 static-page scenario sharded across kWorkers threads: each
+// worker strlen+memcpys the shared constant page into its own response
+// buffer and yields between requests (a worker waiting for the next
+// connection).
+std::unique_ptr<Module> BuildMtStaticPage(int scale) {
+  auto m = std::make_unique<Module>("server.mt-static");
+  auto& t = m->types();
+  IRBuilder b(m.get());
+  GlobalVariable* checksum = MakeChecksumGlobal(*m);
+
+  const uint64_t page_size = 2048;
+  GlobalVariable* page =
+      m->CreateGlobal("page", t.ArrayOf(t.CharTy(), page_size), /*is_const=*/true);
+  {
+    std::vector<uint8_t> content(page_size);
+    for (uint64_t i = 0; i < page_size - 1; ++i) {
+      content[i] = static_cast<uint8_t>('a' + (i * 17) % 25);
+    }
+    content[page_size - 1] = 0;
+    page->set_initializer(std::move(content));
+  }
+
+  Function* worker = m->CreateFunction("worker", t.FunctionTy(t.I64(), {t.I64()}));
+  {
+    b.SetInsertPoint(worker->CreateBlock("entry"));
+    Value* shard = worker->arg(0);
+    Value* r_slot = b.Alloca(t.I64(), "req");
+    Value* acc_slot = b.Alloca(t.I64(), "acc");
+    b.Store(shard, acc_slot);
+    Value* resp = b.Malloc(b.I64(page_size + 128), t.PointerTo(t.CharTy()), "resp");
+
+    LoopBlocks reqs = BeginLoop(b, worker, r_slot, b.I64(0), b.I64(100 * scale), "req");
+    Value* page0 = b.IndexAddr(b.GlobalAddr(page), b.I64(0));
+    Value* len = b.LibCall(ir::LibFunc::kStrlen, {page0});
+    b.LibCall(ir::LibFunc::kMemcpy, {resp, page0, b.Add(len, b.I64(1))});
+    b.Store(b.Add(b.Mul(b.Load(acc_slot), b.I64(31)), len), acc_slot);
+    b.Yield();
+    EndLoop(b, reqs);
+
+    b.Free(resp);
+    b.Ret(b.Load(acc_slot));
+  }
+
+  Function* main = m->CreateFunction("main", t.FunctionTy(t.I64(), {}));
+  b.SetInsertPoint(main->CreateBlock("entry"));
+  std::vector<Value*> tids;
+  for (uint64_t w = 0; w < kWorkers; ++w) {
+    tids.push_back(b.Spawn(worker, {b.I64(w)}, "w" + std::to_string(w)));
+  }
+  JoinWorkersAndFinish(b, checksum, tids);
+  return m;
+}
+
+// --- mt wsgi page ------------------------------------------------------------
+// Route dispatch through a shared handler table (function pointers — the
+// loads every worker performs go through the shared safe pointer store under
+// CPI/CPS) with one private response buffer per worker.
+std::unique_ptr<Module> BuildMtWsgiPage(int scale) {
+  auto m = std::make_unique<Module>("server.mt-wsgi");
+  auto& t = m->types();
+  IRBuilder b(m.get());
+  GlobalVariable* checksum = MakeChecksumGlobal(*m);
+
+  const ir::FunctionType* handler_ty =
+      t.FunctionTy(t.I64(), {t.PointerTo(t.CharTy()), t.I64()});
+  StructType* route = t.GetOrCreateStruct("route");
+  route->SetBody({{"name", t.ArrayOf(t.CharTy(), 16), 0},
+                  {"handler", t.PointerTo(handler_ty), 0}});
+  const uint64_t n_routes = 8;
+  GlobalVariable* routes = m->CreateGlobal("routes", t.ArrayOf(route, n_routes));
+
+  std::vector<Function*> handlers;
+  for (int k = 0; k < 4; ++k) {
+    Function* h = m->CreateFunction("handler_" + std::to_string(k), handler_ty);
+    b.SetInsertPoint(h->CreateBlock("entry"));
+    Value* buf = h->arg(0);
+    Value* req = h->arg(1);
+    Value* i_slot = b.Alloca(t.I64(), "i");
+    LoopBlocks body = BeginLoop(b, h, i_slot, b.I64(0), b.I64(64), "fmt");
+    Value* c = b.Binary(ir::BinOp::kAnd,
+                        b.Add(b.Mul(body.index, b.I64(k + 3)), req), b.I64(63));
+    b.Store(b.Cast(ir::CastKind::kTrunc, b.Add(c, b.I64('0')), t.CharTy()),
+            b.IndexAddr(buf, body.index));
+    EndLoop(b, body);
+    b.Store(b.Char(0), b.IndexAddr(buf, b.I64(64)));
+    b.Ret(b.LibCall(ir::LibFunc::kStrlen, {buf}));
+    handlers.push_back(h);
+  }
+
+  // worker(shard): each request picks its route from the shared table and
+  // runs the handler against the worker's own buffer.
+  Function* worker = m->CreateFunction("worker", t.FunctionTy(t.I64(), {t.I64()}));
+  {
+    b.SetInsertPoint(worker->CreateBlock("entry"));
+    Value* shard = worker->arg(0);
+    Value* r_slot = b.Alloca(t.I64(), "req");
+    Value* acc_slot = b.Alloca(t.I64(), "acc");
+    b.Store(b.I64(0), acc_slot);
+    Value* resp = b.Malloc(b.I64(256), t.PointerTo(t.CharTy()), "resp");
+
+    LoopBlocks reqs = BeginLoop(b, worker, r_slot, b.I64(0), b.I64(75 * scale), "req");
+    Value* global_req = b.Add(b.Mul(reqs.index, b.I64(kWorkers)), shard);
+    Value* idx = b.Binary(ir::BinOp::kURem, global_req, b.I64(n_routes));
+    Value* entry = b.IndexAddr(b.GlobalAddr(routes), idx);
+    Value* handler = b.Load(b.FieldAddr(entry, "handler"));
+    Value* len = b.IndirectCall(handler, {resp, global_req});
+    b.Store(b.Add(b.Mul(b.Load(acc_slot), b.I64(31)), len), acc_slot);
+    b.Yield();
+    EndLoop(b, reqs);
+
+    b.Free(resp);
+    b.Ret(b.Load(acc_slot));
+  }
+
+  Function* main = m->CreateFunction("main", t.FunctionTy(t.I64(), {}));
+  b.SetInsertPoint(main->CreateBlock("entry"));
+  Value* i_slot = b.Alloca(t.I64(), "i");
+
+  // Register routes before any worker exists; the table is read-only from
+  // then on.
+  LoopBlocks reg = BeginLoop(b, main, i_slot, b.I64(0), b.I64(n_routes), "reg");
+  Value* entry = b.IndexAddr(b.GlobalAddr(routes), reg.index);
+  Value* which = b.Binary(ir::BinOp::kAnd, reg.index, b.I64(3));
+  Value* h01 = b.Select(b.ICmpEq(which, b.I64(0)), b.FuncAddr(handlers[0]),
+                        b.FuncAddr(handlers[1]));
+  Value* h23 = b.Select(b.ICmpEq(which, b.I64(2)), b.FuncAddr(handlers[2]),
+                        b.FuncAddr(handlers[3]));
+  Value* h = b.Select(b.ICmpSLt(which, b.I64(2)), h01, h23);
+  b.Store(h, b.FieldAddr(entry, "handler"));
+  EndLoop(b, reg);
+
+  std::vector<Value*> tids;
+  for (uint64_t w = 0; w < kWorkers; ++w) {
+    tids.push_back(b.Spawn(worker, {b.I64(w)}, "w" + std::to_string(w)));
+  }
+  JoinWorkersAndFinish(b, checksum, tids);
+  return m;
+}
+
+// --- mt dynamic page ---------------------------------------------------------
+// The boxed-value interpreter of the dynamic-page scenario with one locals
+// slice per worker: universal void* payloads in every hot loop (CPI's worst
+// case, §5.3), now mutated by four threads against the shared safe store.
+std::unique_ptr<Module> BuildMtDynamicPage(int scale) {
+  auto m = std::make_unique<Module>("server.mt-dynamic");
+  auto& t = m->types();
+  IRBuilder b(m.get());
+  GlobalVariable* checksum = MakeChecksumGlobal(*m);
+
+  StructType* box = t.GetOrCreateStruct("pyobj");
+  box->SetBody({{"tag", t.I64(), 0}, {"payload", t.VoidPtrTy(), 0}});
+
+  const uint64_t slice = 32;  // boxed locals per worker
+  const uint64_t n_slots = kWorkers * slice;
+  const ir::FunctionType* op_ty = t.FunctionTy(t.VoidTy(), {t.I64(), t.I64()});
+  GlobalVariable* optable = m->CreateGlobal("optable", t.ArrayOf(t.PointerTo(op_ty), 16));
+  GlobalVariable* locals = m->CreateGlobal("locals", t.ArrayOf(t.PointerTo(box), n_slots));
+
+  Function* box_new =
+      m->CreateFunction("box_new", t.FunctionTy(t.PointerTo(box), {t.I64(), t.I64()}));
+  {
+    b.SetInsertPoint(box_new->CreateBlock("entry"));
+    Value* obj = b.Malloc(b.I64(box->SizeInBytes()), t.PointerTo(box));
+    Value* cell = b.Malloc(b.I64(8), t.PointerTo(t.I64()));
+    b.Store(box_new->arg(1), cell);
+    b.Store(box_new->arg(0), b.FieldAddr(obj, "tag"));
+    b.Store(b.Bitcast(cell, t.VoidPtrTy()), b.FieldAddr(obj, "payload"));
+    b.Ret(obj);
+  }
+
+  Function* box_val = m->CreateFunction("box_val", t.FunctionTy(t.I64(), {t.I64()}));
+  {
+    b.SetInsertPoint(box_val->CreateBlock("entry"));
+    Value* obj = b.Load(b.IndexAddr(b.GlobalAddr(locals), box_val->arg(0)));
+    Value* payload = b.Load(b.FieldAddr(obj, "payload"));
+    Value* cell = b.Bitcast(payload, t.PointerTo(t.I64()));
+    b.Ret(b.Load(cell));
+  }
+
+  // Opcode handlers take (base, pc): `base` is the worker's first locals
+  // slot, so every box access stays inside the worker's own slice.
+  std::vector<Function*> ops;
+  for (int k = 0; k < 4; ++k) {
+    Function* op = m->CreateFunction("pyop_" + std::to_string(k), op_ty);
+    b.SetInsertPoint(op->CreateBlock("entry"));
+    Value* base = op->arg(0);
+    Value* pc = op->arg(1);
+    Value* s0 = b.Add(base, b.Binary(ir::BinOp::kAnd, pc, b.I64(slice - 1)));
+    Value* s1 = b.Add(base, b.Binary(ir::BinOp::kAnd, b.Add(pc, b.I64(1)),
+                                     b.I64(slice - 1)));
+    Value* a = b.Call(box_val, {s0});
+    Value* c = b.Call(box_val, {s1});
+    Value* r;
+    switch (k) {
+      case 0: r = b.Add(a, c); break;
+      case 1: r = b.Mul(a, b.I64(3)); break;
+      case 2: r = b.Xor(a, c); break;
+      default: r = b.Sub(c, a); break;
+    }
+    Value* slot0 = b.IndexAddr(b.GlobalAddr(locals), s0);
+    Value* slot1 = b.IndexAddr(b.GlobalAddr(locals), s1);
+    Value* dst = b.Load(slot0);
+    b.Store(b.I64(k), b.FieldAddr(dst, "tag"));
+    Value* payload = b.Load(b.FieldAddr(dst, "payload"));
+    b.Store(r, b.Bitcast(payload, t.PointerTo(t.I64())));
+    b.Store(payload, b.FieldAddr(dst, "payload"));
+    Value* other = b.Load(slot1);
+    b.Store(other, slot0);
+    b.Store(dst, slot1);
+    b.Ret();
+    ops.push_back(op);
+  }
+
+  // worker(shard): populate the shard's locals slice with its own boxes
+  // (per-thread heap arenas keep the addresses schedule-independent), then
+  // run the request loop against it.
+  Function* worker = m->CreateFunction("worker", t.FunctionTy(t.I64(), {t.I64()}));
+  {
+    b.SetInsertPoint(worker->CreateBlock("entry"));
+    Value* shard = worker->arg(0);
+    Value* i_slot = b.Alloca(t.I64(), "i");
+    Value* r_slot = b.Alloca(t.I64(), "req");
+    Value* pc_slot = b.Alloca(t.I64(), "pc");
+    Value* base = b.Mul(shard, b.I64(slice));
+
+    LoopBlocks init = BeginLoop(b, worker, i_slot, b.I64(0), b.I64(slice), "init");
+    Value* boxed = b.Call(box_new, {b.I64(0), b.Mul(b.Add(init.index, shard), b.I64(7))});
+    b.Store(boxed, b.IndexAddr(b.GlobalAddr(locals), b.Add(base, init.index)));
+    EndLoop(b, init);
+
+    LoopBlocks reqs = BeginLoop(b, worker, r_slot, b.I64(0), b.I64(30 * scale), "req");
+    LoopBlocks prog = BeginLoop(b, worker, pc_slot, b.I64(0), b.I64(24), "op");
+    Value* op_idx = b.Binary(ir::BinOp::kAnd, b.Mul(prog.index, b.I64(5)), b.I64(15));
+    Value* op_fn = b.Load(b.IndexAddr(b.GlobalAddr(optable), op_idx));
+    b.IndirectCall(op_fn, {base, b.Add(prog.index, reqs.index)});
+    EndLoop(b, prog);
+    EndLoop(b, reqs);
+
+    b.Ret(b.Call(box_val, {base}));
+  }
+
+  Function* main = m->CreateFunction("main", t.FunctionTy(t.I64(), {}));
+  b.SetInsertPoint(main->CreateBlock("entry"));
+  Value* i_slot = b.Alloca(t.I64(), "i");
+  LoopBlocks opinit = BeginLoop(b, main, i_slot, b.I64(0), b.I64(4), "opinit");
+  for (int k = 0; k < 4; ++k) {
+    Value* idx = b.Add(b.Mul(opinit.index, b.I64(4)), b.I64(k));
+    b.Store(b.FuncAddr(ops[k]), b.IndexAddr(b.GlobalAddr(optable), idx));
+  }
+  EndLoop(b, opinit);
+
+  std::vector<Value*> tids;
+  for (uint64_t w = 0; w < kWorkers; ++w) {
+    tids.push_back(b.Spawn(worker, {b.I64(w)}, "w" + std::to_string(w)));
+  }
+  JoinWorkersAndFinish(b, checksum, tids);
+  return m;
+}
+
+// --- producer / consumer -----------------------------------------------------
+// Cross-thread pointer flow: the producer thread builds a linked chain of
+// heap nodes and hands the head pointer to the consumer thread (through the
+// spawn-args / join-result channel), which chases the chain, folds the
+// payloads and frees every node — cross-thread frees of blocks another
+// thread's arena allocated.
+std::unique_ptr<Module> BuildProducerConsumer(int scale) {
+  auto m = std::make_unique<Module>("server.mt-prodcons");
+  auto& t = m->types();
+  IRBuilder b(m.get());
+  GlobalVariable* checksum = MakeChecksumGlobal(*m);
+
+  StructType* node = t.GetOrCreateStruct("chain_node");
+  node->SetBody({{"next", t.VoidPtrTy(), 0}, {"val", t.I64(), 0}});
+
+  // producer(n) -> head address: builds the chain front-to-back.
+  Function* producer = m->CreateFunction("producer", t.FunctionTy(t.I64(), {t.I64()}));
+  {
+    b.SetInsertPoint(producer->CreateBlock("entry"));
+    Value* n = producer->arg(0);
+    Value* i_slot = b.Alloca(t.I64(), "i");
+    Value* head_slot = b.Alloca(t.VoidPtrTy(), "head");
+    b.Store(b.Null(t.VoidPtrTy()), head_slot);
+
+    LoopBlocks build = BeginLoop(b, producer, i_slot, b.I64(0), n, "build");
+    Value* fresh = b.Malloc(b.I64(node->SizeInBytes()), t.PointerTo(node));
+    b.Store(b.Load(head_slot), b.FieldAddr(fresh, "next"));
+    b.Store(b.Mul(build.index, b.I64(17)), b.FieldAddr(fresh, "val"));
+    b.Store(b.Bitcast(fresh, t.VoidPtrTy()), head_slot);
+    b.Yield();
+    EndLoop(b, build);
+
+    b.Ret(b.PtrToInt(b.Load(head_slot)));
+  }
+
+  // consumer(head) -> folded sum: chases and frees the chain.
+  Function* consumer = m->CreateFunction("consumer", t.FunctionTy(t.I64(), {t.I64()}));
+  {
+    b.SetInsertPoint(consumer->CreateBlock("entry"));
+    Value* cur_slot = b.Alloca(t.VoidPtrTy(), "cur");
+    Value* acc_slot = b.Alloca(t.I64(), "acc");
+    b.Store(b.IntToPtr(consumer->arg(0), t.VoidPtrTy()), cur_slot);
+    b.Store(b.I64(0), acc_slot);
+
+    ir::BasicBlock* header = consumer->CreateBlock("chase.header");
+    ir::BasicBlock* body = consumer->CreateBlock("chase.body");
+    ir::BasicBlock* exit = consumer->CreateBlock("chase.exit");
+    b.Br(header);
+    b.SetInsertPoint(header);
+    Value* raw = b.Load(cur_slot);
+    b.CondBr(b.ICmpNe(b.PtrToInt(raw), b.I64(0)), body, exit);
+    b.SetInsertPoint(body);
+    Value* cur = b.Bitcast(b.Load(cur_slot), t.PointerTo(node));
+    Value* val = b.Load(b.FieldAddr(cur, "val"));
+    b.Store(b.Add(b.Mul(b.Load(acc_slot), b.I64(31)), val), acc_slot);
+    Value* next = b.Load(b.FieldAddr(cur, "next"));
+    b.Store(next, cur_slot);
+    b.Free(cur);
+    b.Yield();
+    b.Br(header);
+    b.SetInsertPoint(exit);
+    b.Ret(b.Load(acc_slot));
+  }
+
+  // Scale grows the chain, not the number of spawns: simulated thread ids
+  // are never recycled, so a run spawns a bounded number of threads.
+  Function* main = m->CreateFunction("main", t.FunctionTy(t.I64(), {}));
+  b.SetInsertPoint(main->CreateBlock("entry"));
+  Value* head = b.Join(b.Spawn(producer, {b.I64(400 * scale)}, "prod"));
+  Value* sum = b.Join(b.Spawn(consumer, {head}, "cons"));
+  AccumulateChecksum(b, checksum, sum);
+  EmitChecksumAndRet(b, checksum);
+  return m;
+}
+
+}  // namespace
+
+const std::vector<Workload>& ConcurrentServer() {
+  static const std::vector<Workload>* workloads = new std::vector<Workload>{
+      {"mt-static-page", "C", BuildMtStaticPage, {}},
+      {"mt-wsgi-page", "C", BuildMtWsgiPage, {}},
+      {"mt-dynamic-page", "C", BuildMtDynamicPage, {}},
+      {"mt-producer-consumer", "C", BuildProducerConsumer, {}},
+  };
+  return *workloads;
+}
+
+}  // namespace cpi::workloads

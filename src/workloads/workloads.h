@@ -40,6 +40,11 @@ const std::vector<Workload>& Phoronix();
 // page).
 const std::vector<Workload>& WebServer();
 
+// The Table 4 scenarios re-run as multi-worker servers on the simulated
+// thread scheduler, plus a producer/consumer pointer-chasing pair. Race-free
+// by construction, so counters are deterministic at any scheduler quantum.
+const std::vector<Workload>& ConcurrentServer();
+
 const Workload* FindWorkload(const std::string& name);
 
 }  // namespace cpi::workloads

@@ -387,8 +387,39 @@ TEST(TemporalTest, AllocateFreeLifecycle) {
 TEST(TemporalTest, StaticIdIsAlwaysLive) {
   TemporalIdService svc;
   EXPECT_TRUE(svc.IsLive(TemporalIdService::kStaticId));
-  svc.Free(TemporalIdService::kStaticId);  // no effect
+  EXPECT_FALSE(svc.Free(TemporalIdService::kStaticId));  // rejected, not a no-op
   EXPECT_TRUE(svc.IsLive(TemporalIdService::kStaticId));
+  EXPECT_EQ(svc.invalid_free_count(), 1u);
+}
+
+// Regression: Free silently accepted double frees and frees of kStaticId —
+// CETS-style checking requires dead ids to stay dead and bad frees to be
+// surfaced, not ignored.
+TEST(TemporalTest, DoubleFreeIsDetected) {
+  TemporalIdService svc;
+  const uint64_t id = svc.Allocate();
+  EXPECT_TRUE(svc.Free(id));
+  EXPECT_EQ(svc.invalid_free_count(), 0u);
+  EXPECT_FALSE(svc.Free(id));  // double free
+  EXPECT_EQ(svc.invalid_free_count(), 1u);
+  EXPECT_FALSE(svc.IsLive(id));
+  EXPECT_FALSE(svc.Free(12345));  // never allocated
+  EXPECT_EQ(svc.invalid_free_count(), 2u);
+}
+
+// Externally minted ids (the VM's per-thread namespaces) register as live
+// exactly once; re-registering a live or freed id is counted as an error.
+TEST(TemporalTest, RegisterLifecycle) {
+  TemporalIdService svc;
+  const uint64_t id = (7ull << 48) | 1;
+  EXPECT_TRUE(svc.Register(id));
+  EXPECT_TRUE(svc.IsLive(id));
+  EXPECT_FALSE(svc.Register(id));  // duplicate
+  EXPECT_EQ(svc.invalid_free_count(), 1u);
+  EXPECT_TRUE(svc.Free(id));
+  EXPECT_FALSE(svc.IsLive(id));
+  EXPECT_FALSE(svc.Register(TemporalIdService::kStaticId));  // reserved
+  EXPECT_EQ(svc.invalid_free_count(), 2u);
 }
 
 TEST(TemporalTest, IdsAreNeverReused) {

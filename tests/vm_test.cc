@@ -62,6 +62,34 @@ TEST(ByteMemoryTest, PartialWriteNeverApplied) {
   (void)v;
 }
 
+// Regression: a zero-size map at an unaligned address used to round the end
+// past the start and map a whole page, inflating mapped_bytes() — and with
+// it the §5.2 memory-overhead table.
+TEST(ByteMemoryTest, ZeroSizeMapMapsNothing) {
+  ByteMemory mem;
+  mem.MapRange(0x1234, 0, /*writable=*/true);  // unaligned, empty
+  EXPECT_EQ(mem.mapped_bytes(), 0u);
+  EXPECT_FALSE(mem.IsMapped(0x1234));
+  mem.MapRange(0x1000, 0, /*writable=*/true);  // aligned, empty
+  EXPECT_EQ(mem.mapped_bytes(), 0u);
+}
+
+// Regression: remapping used to or-merge writability, so a page once mapped
+// writable could never be demoted to read-only — constant/code pages stayed
+// silently writable. Remap now honours the last mapping, like mprotect.
+TEST(ByteMemoryTest, RemapPermissionsHonourLastMapping) {
+  ByteMemory mem;
+  mem.MapRange(0x3000, 64, /*writable=*/true);
+  ASSERT_EQ(mem.WriteU64(0x3000, 42), MemFault::kNone);
+  mem.MapRange(0x3000, 64, /*writable=*/false);
+  EXPECT_EQ(mem.WriteU64(0x3000, 7), MemFault::kReadOnly);
+  uint64_t v = 0;
+  ASSERT_EQ(mem.ReadU64(0x3000, &v), MemFault::kNone);
+  EXPECT_EQ(v, 42u);  // contents survive the permission change
+  mem.MapRange(0x3000, 64, /*writable=*/true);  // and back
+  EXPECT_EQ(mem.WriteU64(0x3000, 7), MemFault::kNone);
+}
+
 TEST(CacheTest, RepeatAccessHits) {
   CacheModel cache;
   const uint64_t miss = cache.Access(0x1000);
