@@ -10,6 +10,9 @@
 //                historical table is recorded at O0). Most drivers measure
 //                at the given level; the suite instead keeps its standard
 //                tables at O0 and adds the ablation_opt O0-vs-O1 table.
+//   --engine E   VM execution tier: fused (default), decoded, reference.
+//                Simulated counters — and therefore every table — are
+//                bit-identical across tiers; only wall-clock changes.
 #ifndef CPI_BENCH_FLAGS_H_
 #define CPI_BENCH_FLAGS_H_
 
@@ -28,18 +31,21 @@ struct Flags {
   int scale = 1;
   int jobs = 0;  // resolved to ThreadPool::DefaultJobs() by Parse
   int opt = 0;   // core::Config::opt_level for the measured cells
+  vm::EngineKind engine = vm::EngineKind::kFused;  // core::Config::engine
 };
 
 // The Config every measured cell starts from under these flags.
 inline core::Config BaseConfig(const Flags& flags) {
   core::Config config;
   config.opt_level = flags.opt;
+  config.engine = flags.engine;
   return config;
 }
 
 inline void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json] [--time] [--scale N|small] [--jobs N] [--opt N]\n",
+               "usage: %s [--json] [--time] [--scale N|small] [--jobs N] [--opt N] "
+               "[--engine fused|decoded|reference]\n",
                argv0);
 }
 
@@ -67,6 +73,19 @@ inline Flags Parse(int argc, char** argv) {
       if (flags.opt < 0) {
         std::fprintf(stderr, "invalid --opt; using 0\n");
         flags.opt = 0;
+      }
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      ++i;
+      if (std::strcmp(argv[i], "fused") == 0) {
+        flags.engine = vm::EngineKind::kFused;
+      } else if (std::strcmp(argv[i], "decoded") == 0) {
+        flags.engine = vm::EngineKind::kDecoded;
+      } else if (std::strcmp(argv[i], "reference") == 0) {
+        flags.engine = vm::EngineKind::kReference;
+      } else {
+        std::fprintf(stderr, "unknown --engine: %s\n", argv[i]);
+        PrintUsage(argv[0]);
+        std::exit(2);
       }
     } else {
       // Unknown (or value-less) arguments used to be silently ignored, so a

@@ -34,6 +34,7 @@
 #include "src/core/scheme.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
+#include "src/vm/decode.h"
 #include "src/workloads/measure.h"
 
 namespace {
@@ -189,6 +190,11 @@ void PrintOverheadTable(const char* title, const OverheadTable& t, bool lang) {
 int main(int argc, char** argv) {
   const cpi::bench::Flags flags = cpi::bench::Parse(argc, argv);
   const Stopwatch total;
+  // Every measured cell honors --engine. The standard tables stay at O0
+  // regardless of --opt (see bench/flags.h), so this base carries only the
+  // engine knob; tables are bit-identical across engines anyway.
+  Config engine_base;
+  engine_base.engine = flags.engine;
   std::map<std::string, double> table_wall_ms;
 
   const std::vector<Protection> overhead_protections = cpi::workloads::OverheadProtections();
@@ -206,7 +212,7 @@ int main(int argc, char** argv) {
   std::vector<Protection> spec_protections = overhead_protections;
   spec_protections.push_back(Protection::kSoftBound);
   const auto spec_ms = cpi::workloads::MeasureWorkloads(spec, spec_views,
-                                                        spec_protections, {}, flags.jobs);
+                                                        spec_protections, engine_base, flags.jobs);
 
   OverheadTable table1;
   table1.columns = overhead_protections;
@@ -230,13 +236,15 @@ int main(int argc, char** argv) {
   // plain CPI, already measured by the SPEC sweep; only the variant
   // configurations add cells.
   Stopwatch iso_watch;
-  const std::vector<std::pair<std::string, Config>> iso_variants = [] {
+  const std::vector<std::pair<std::string, Config>> iso_variants = [&flags] {
     Config info;
     info.protection = Protection::kCpi;
     info.isolation = cpi::runtime::IsolationKind::kInfoHiding;
+    info.engine = flags.engine;
     Config sfi;
     sfi.protection = Protection::kCpi;
     sfi.isolation = cpi::runtime::IsolationKind::kSfi;
+    sfi.engine = flags.engine;
     return std::vector<std::pair<std::string, Config>>{{"info-hiding", info},
                                                        {"sfi", sfi}};
   }();
@@ -272,6 +280,7 @@ int main(int argc, char** argv) {
     cell.workload = wi;
     cell.config.protection = Protection::kCpi;
     cell.config.mpx_assist = true;
+    cell.config.engine = flags.engine;
     mpx_cells.push_back(cell);
   }
   const auto mpx_results = cpi::workloads::RunCells(spec, spec_views, mpx_cells, flags.jobs);
@@ -301,6 +310,7 @@ int main(int argc, char** argv) {
         cell.workload = wi;
         cell.config.protection = p;
         cell.config.store = store;
+        cell.config.engine = flags.engine;
         mem_cells.push_back(cell);
       }
     }
@@ -339,7 +349,8 @@ int main(int argc, char** argv) {
   // built once each.
   Stopwatch fig4_watch;
   const auto phoronix_ms = cpi::workloads::MeasureWorkloads(
-      cpi::workloads::Phoronix(), overhead_protections, flags.scale, {}, flags.jobs);
+      cpi::workloads::Phoronix(), overhead_protections, flags.scale, engine_base,
+      flags.jobs);
   OverheadTable fig4;
   fig4.columns = overhead_protections;
   for (const auto& m : phoronix_ms) {
@@ -349,7 +360,8 @@ int main(int argc, char** argv) {
 
   Stopwatch table4_watch;
   const auto web_ms = cpi::workloads::MeasureWorkloads(
-      cpi::workloads::WebServer(), overhead_protections, flags.scale, {}, flags.jobs);
+      cpi::workloads::WebServer(), overhead_protections, flags.scale, engine_base,
+      flags.jobs);
   OverheadTable table4;
   table4.columns = overhead_protections;
   for (const auto& m : web_ms) {
@@ -363,8 +375,8 @@ int main(int argc, char** argv) {
   // scheduler quantum — the differential tests enforce both.
   Stopwatch table4c_watch;
   const auto mt_ms = cpi::workloads::MeasureWorkloads(
-      cpi::workloads::ConcurrentServer(), overhead_protections, flags.scale, {},
-      flags.jobs);
+      cpi::workloads::ConcurrentServer(), overhead_protections, flags.scale,
+      engine_base, flags.jobs);
   OverheadTable table4_concurrent;
   table4_concurrent.columns = overhead_protections;
   for (const auto& m : mt_ms) {
@@ -384,6 +396,7 @@ int main(int argc, char** argv) {
     for (const ProtectionScheme* s : cpi::core::SchemeRegistry::RipeRows()) {
       Config config;
       config.protection = s->id();
+      config.engine = flags.engine;
       RipeRow row;
       row.scheme = s;
       *attacks = 0;
@@ -442,7 +455,7 @@ int main(int argc, char** argv) {
     subset_views.push_back(spec_views[wi]);
   }
   const auto subset_ms = cpi::workloads::MeasureWorkloads(
-      subset_workloads, subset_views, extra_protections, {}, flags.jobs);
+      subset_workloads, subset_views, extra_protections, engine_base, flags.jobs);
 
   std::vector<Fig5Row> fig5_rows;
   for (const ProtectionScheme* s : defense_rows) {
@@ -463,6 +476,7 @@ int main(int argc, char** argv) {
     if (!have_matrix) {
       Config config;
       config.protection = s->id();
+      config.engine = flags.engine;
       for (const auto& r : cpi::attacks::RunAttackMatrix(config, flags.jobs)) {
         ++row.attacks;
         if (r.Hijacked()) {
@@ -505,12 +519,14 @@ int main(int argc, char** argv) {
       MeasureCell vanilla;
       vanilla.workload = wi;
       vanilla.config.opt_level = flags.opt;
+      vanilla.config.engine = flags.engine;
       opt_cells.push_back(vanilla);
       for (Protection p : overhead_protections) {
         MeasureCell cell;
         cell.workload = wi;
         cell.config.protection = p;
         cell.config.opt_level = flags.opt;
+        cell.config.engine = flags.engine;
         opt_cells.push_back(cell);
       }
     }
@@ -534,6 +550,38 @@ int main(int argc, char** argv) {
   }
 
   const double wall_ms = total.Ms();
+
+  // -------------------------------------------------------------------------
+  // Failure audit. The overhead tables tolerate failing cells (they surface
+  // in the JSON "fails" arrays) so one bad scheme cannot abort a long sweep,
+  // but the suite as a whole must not exit 0 when a cell silently failed.
+  // SoftBound is the documented exemption: the paper reports it breaking on
+  // unsafe pointer idioms (Table 3), and the recorded baselines carry those
+  // cells as fails:["softbound"].
+  int unexpected_failures = 0;
+  const auto audit = [&unexpected_failures](const char* table,
+                                            const std::vector<Measurement>& ms) {
+    for (const Measurement& m : ms) {
+      for (const auto& [p, st] : m.status) {
+        if (st == cpi::vm::RunStatus::kOk || p == Protection::kSoftBound) {
+          continue;
+        }
+        std::fprintf(stderr, "suite: FAILED cell %s/%s under %s: %s\n", table,
+                     m.workload.c_str(), SchemeName(p), cpi::vm::RunStatusName(st));
+        ++unexpected_failures;
+      }
+    }
+  };
+  audit("table1/table3", spec_ms);
+  audit("fig4_phoronix", phoronix_ms);
+  audit("table4_webserver", web_ms);
+  audit("table4_concurrent", mt_ms);
+  audit("fig5_subset", subset_ms);
+  if (unexpected_failures != 0) {
+    std::fprintf(stderr, "suite: %d unexpected cell failure(s); exiting non-zero\n",
+                 unexpected_failures);
+  }
+  const int exit_code = unexpected_failures == 0 ? 0 : 1;
 
   // -------------------------------------------------------------------------
   // JSON report.
@@ -687,8 +735,30 @@ int main(int argc, char** argv) {
     }
     std::printf("]}");
 
-    std::printf("}}\n");
-    return 0;
+    std::printf("}");  // closes "tables" — byte-identical across engines
+
+    // Fusion statistics live OUTSIDE .tables: they describe the execution
+    // tier, not the measured program, and vary with --engine while the
+    // tables never do.
+    const cpi::vm::FusionStats fusion = cpi::vm::GetFusionStats();
+    std::printf(",\"engine\":\"%s\",\"fusion\":{\"modules\":%llu,"
+                "\"ops_before\":%llu,\"ops_after\":%llu,\"patterns\":[",
+                cpi::vm::EngineKindName(flags.engine),
+                static_cast<unsigned long long>(fusion.modules),
+                static_cast<unsigned long long>(fusion.ops_before),
+                static_cast<unsigned long long>(fusion.ops_after));
+    const size_t npat = std::min<size_t>(fusion.patterns.size(), 10);
+    for (size_t i = 0; i < npat; ++i) {
+      const cpi::vm::FusionPatternStat& ps = fusion.patterns[i];
+      std::printf("%s{\"name\":\"%s\",\"sites\":%llu,\"weight\":%llu,"
+                  "\"hits\":%llu}",
+                  i == 0 ? "" : ",", ps.name.c_str(),
+                  static_cast<unsigned long long>(ps.sites),
+                  static_cast<unsigned long long>(ps.weight),
+                  static_cast<unsigned long long>(ps.hits));
+    }
+    std::printf("]}}\n");
+    return exit_code;
   }
 
   // -------------------------------------------------------------------------
@@ -909,5 +979,5 @@ int main(int argc, char** argv) {
       std::printf("  %-22s %8.1f ms\n", name.c_str(), ms);
     }
   }
-  return 0;
+  return exit_code;
 }

@@ -75,7 +75,8 @@ vm::RunResult Run(const ir::Module& module, const Config& config, const Input& i
   options.store = config.store;
   options.isolation = config.isolation;
   options.mpx_assist = config.mpx_assist;
-  options.reference_interpreter = config.reference_interpreter;
+  options.engine =
+      config.reference_interpreter ? vm::EngineKind::kReference : config.engine;
   options.quantum = config.thread_quantum;
   options.max_steps = config.max_steps;
   options.seed = config.seed;

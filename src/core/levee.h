@@ -55,9 +55,13 @@ struct Config {
   bool char_star_heuristic = true;  // §3.2.1
   bool cast_dataflow = true;        // §3.2.1
   bool mpx_assist = false;          // §4 MPX projection: free bounds checks
-  // Use the tree-walking reference interpreter instead of the predecoded
-  // threaded-dispatch engine (bit-identical results; used as the oracle by
-  // the differential tests).
+  // Which VM execution tier runs the program (all tiers produce
+  // bit-identical results; tier 3, the fused superinstruction engine, is the
+  // default and fastest). Bench drivers expose this as `--engine`.
+  vm::EngineKind engine = vm::EngineKind::kFused;
+  // Legacy switch for the tree-walking oracle: when set it overrides
+  // `engine` with vm::EngineKind::kReference (kept because the differential
+  // tests toggle the oracle through this knob).
   bool reference_interpreter = false;
   // Post-instrumentation optimization level (src/opt). 0 — the default —
   // runs no passes, so every O0 run is byte-identical to the historical

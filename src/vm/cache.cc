@@ -31,21 +31,8 @@ CacheModel::CacheModel(const Config& config) : config_(config) {
   set_tick_.assign(num_sets_, 0);
 }
 
-uint64_t CacheModel::Access(uint64_t addr) {
-  const uint64_t line_addr = addr >> line_shift_;
-  const uint64_t set = line_addr & set_mask_;
-  const uint64_t tick = ++set_tick_[set];
-  Line* set_lines = &lines_[set * config_.ways];
-
-  for (uint64_t w = 0; w < config_.ways; ++w) {
-    if (set_lines[w].valid && set_lines[w].tag == line_addr) {
-      set_lines[w].lru = tick;
-      ++hits_;
-      return config_.hit_cycles;
-    }
-  }
-
-  // Miss: fill the LRU way.
+uint64_t CacheModel::Miss(Line* set_lines, uint64_t line_addr, uint64_t tick) {
+  // Fill the LRU way.
   uint64_t victim = 0;
   for (uint64_t w = 1; w < config_.ways; ++w) {
     if (!set_lines[w].valid ||

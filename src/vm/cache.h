@@ -26,7 +26,24 @@ class CacheModel {
   explicit CacheModel(const Config& config);
 
   // Returns the cycle cost of accessing `addr` and updates cache state.
-  uint64_t Access(uint64_t addr);
+  // Defined in the header so the execution loops can inline it — with tens
+  // of millions of calls per benchmark cell this is the hottest leaf of the
+  // whole cost model.
+  uint64_t Access(uint64_t addr) {
+    const uint64_t line_addr = addr >> line_shift_;
+    const uint64_t set = line_addr & set_mask_;
+    const uint64_t tick = ++set_tick_[set];
+    Line* set_lines = &lines_[set * config_.ways];
+
+    for (uint64_t w = 0; w < config_.ways; ++w) {
+      if (set_lines[w].valid && set_lines[w].tag == line_addr) {
+        set_lines[w].lru = tick;
+        ++hits_;
+        return config_.hit_cycles;
+      }
+    }
+    return Miss(set_lines, line_addr, tick);
+  }
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -39,6 +56,10 @@ class CacheModel {
     uint64_t lru = 0;
     bool valid = false;
   };
+
+  // Miss path: fill the LRU way. Out of line — misses are the rare case and
+  // keeping the fill loop out of the inlined probe keeps the hot path small.
+  uint64_t Miss(Line* set_lines, uint64_t line_addr, uint64_t tick);
 
   Config config_;
   uint64_t num_sets_;

@@ -1,5 +1,6 @@
 // Predecoded execution format: the flat micro-op arrays the VM's
-// threaded-dispatch engine executes.
+// threaded-dispatch engine executes, plus the superinstruction (macro-op)
+// tier layered on top of them.
 //
 // The reference interpreter re-switches on ir::Opcode and re-resolves each
 // operand's ir::ValueKind for every executed instruction, and chases
@@ -18,15 +19,25 @@
 //   * instrumentation intrinsics decode like any other op, so instrumented
 //     and vanilla runs share the same dispatch loop.
 //
-// Decoding is a pure representation change: one DecodedOp per IR
-// instruction, no fusion, no reordering — which is what lets the decoded
-// engine reproduce the reference interpreter's simulated Counters bit for
-// bit (see tests/decode_test.cc).
+// The fused tier (engine kFused) then runs a profile-guided fusion pass over
+// the decoded ops: a static profiler weights every op by its loop-nesting
+// depth (back edges are branches whose target op index precedes them), and
+// hot straight-line pairs/triples are rewritten into macro-ops. Fusion only
+// replaces the *head* op's opcode; the constituent tail ops stay in the
+// array with their original opcodes and payloads, so branch targets never
+// need remapping — a jump into the middle of a fused sequence simply
+// executes the tail as the plain micro-op it still is. A macro handler
+// charges each constituent exactly what the dispatch loop would have
+// (base cycles, fuel, cache traffic), which keeps the simulated Counters of
+// all three tiers bit-for-bit identical (see tests/decode_test.cc and
+// tests/fuse_test.cc); only wall-clock changes.
 #ifndef CPI_SRC_VM_DECODE_H_
 #define CPI_SRC_VM_DECODE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/ir/module.h"
@@ -35,12 +46,26 @@
 namespace cpi::vm {
 
 // A pre-resolved operand: either an immediate (constants, already masked to
-// their type width) or an index into the frame's register file.
+// their type width) or an index into the frame's register file. Packed to 12
+// bytes — the sentinel register index doubles as the immediate tag — so that
+// three of them plus payloads keep DecodedOp inside 80 bytes.
 struct OperandSlot {
-  uint64_t imm = 0;
-  uint32_t reg = 0;
-  bool is_imm = true;
+  static constexpr uint32_t kImmSlot = 0xffffffffu;
+
+  uint32_t reg = kImmSlot;
+  uint32_t imm_lo = 0;
+  uint32_t imm_hi = 0;
+
+  bool is_imm() const { return reg == kImmSlot; }
+  uint64_t imm() const { return imm_lo | (static_cast<uint64_t>(imm_hi) << 32); }
+  void set_imm(uint64_t v) {
+    reg = kImmSlot;
+    imm_lo = static_cast<uint32_t>(v);
+    imm_hi = static_cast<uint32_t>(v >> 32);
+  }
+  void set_reg(uint32_t r) { reg = r; }
 };
+static_assert(sizeof(OperandSlot) == 12, "OperandSlot must stay 12 bytes");
 
 // One handler per micro-op; the dispatch table in machine.cc is indexed by
 // this. Values mirror ir::Opcode one-to-one — the win is not a different
@@ -73,6 +98,101 @@ enum class MicroOp : uint8_t {
   kCount,
 };
 
+// Macro-ops (superinstructions): opcode values continue MicroOp's numbering
+// so one dispatch table serves both tiers. A macro-op is stored in the
+// *head* DecodedOp of a fused sequence; its constituents keep their original
+// micro opcodes at the following op indices.
+//
+// Every macro opcode names its constituents *statically*, so the handler
+// reaches each constituent with a direct (predictable) call. That is the
+// entire win: a generic "dispatch fuse_head at run time" handler would
+// re-introduce exactly the data-dependent indirect jump that fusion exists
+// to remove, and measures slower than not fusing at all. Pairs get a full
+// head x tail opcode matrix; triples only the hand-specialised shapes below
+// (anything else is planned as a pair plus a standalone op).
+
+// Pair matrix vocabulary, in opcode-matrix order: every fusible inner op
+// (decode.cc FusibleInner) may head a pair; tails additionally admit the
+// block-terminating branches.
+constexpr MicroOp kFuseHeadOps[] = {
+    MicroOp::kLoad,      MicroOp::kStore,    MicroOp::kFieldAddr,
+    MicroOp::kIndexAddr, MicroOp::kBinOp,    MicroOp::kCast,
+    MicroOp::kSelect,    MicroOp::kFuncAddr, MicroOp::kGlobalAddr,
+    MicroOp::kIntrinsic,
+};
+constexpr size_t kNumFuseHeads = sizeof(kFuseHeadOps) / sizeof(kFuseHeadOps[0]);
+constexpr size_t kNumFuseTails = kNumFuseHeads + 2;  // + kBr, kCondBr
+
+// Specialised triple shapes: the hottest three-op sequences by dynamic hit
+// count across the bench suite (all workloads x all schemes). A triple saves
+// two dispatches instead of one, so the top shapes earn their own opcodes;
+// the long tail decomposes into pairs.
+struct TripleShape {
+  MicroOp a, b, c;
+};
+constexpr TripleShape kTripleShapes[] = {
+    {MicroOp::kLoad, MicroOp::kBinOp, MicroOp::kCondBr},
+    {MicroOp::kLoad, MicroOp::kGlobalAddr, MicroOp::kIndexAddr},
+    {MicroOp::kStore, MicroOp::kLoad, MicroOp::kBinOp},
+    {MicroOp::kBinOp, MicroOp::kStore, MicroOp::kBr},
+    {MicroOp::kLoad, MicroOp::kIndexAddr, MicroOp::kLoad},
+    {MicroOp::kLoad, MicroOp::kBinOp, MicroOp::kGlobalAddr},
+    {MicroOp::kLoad, MicroOp::kBinOp, MicroOp::kStore},
+    {MicroOp::kIndexAddr, MicroOp::kStore, MicroOp::kLoad},
+    {MicroOp::kBinOp, MicroOp::kStore, MicroOp::kFieldAddr},
+};
+constexpr size_t kNumTripleShapes = sizeof(kTripleShapes) / sizeof(kTripleShapes[0]);
+
+enum class MacroOp : uint8_t {
+  kCmpBr = static_cast<uint8_t>(MicroOp::kCount),  // int compare + cond-branch,
+                                                   // branch consumes the result
+  kFuse2,      // generic pair fallback (vocabulary gaps; none today)
+  kFuse3,      // generic triple fallback (never planned; kept defensively)
+  kPairBase,   // head x tail matrix: kPairBase + head_index * kNumFuseTails + tail_index
+  kTripleBase = kPairBase + kNumFuseHeads * kNumFuseTails,  // kTripleShapes order
+  kEnd = kTripleBase + kNumTripleShapes,
+};
+static_assert(static_cast<size_t>(MacroOp::kEnd) <= 256,
+              "macro opcodes must fit the uint8_t opcode byte");
+
+// Total number of opcode slots across both tiers (dispatch table size).
+constexpr size_t kNumOpcodes = static_cast<size_t>(MacroOp::kEnd);
+
+inline bool IsMacroOp(MicroOp op) {
+  return static_cast<uint8_t>(op) >= static_cast<uint8_t>(MicroOp::kCount);
+}
+
+// Matrix coordinates <-> opcodes. Index helpers return -1 for ops outside
+// the vocabulary.
+constexpr int FuseHeadIndex(MicroOp op) {
+  for (size_t i = 0; i < kNumFuseHeads; ++i) {
+    if (kFuseHeadOps[i] == op) return static_cast<int>(i);
+  }
+  return -1;
+}
+constexpr int FuseTailIndex(MicroOp op) {
+  if (op == MicroOp::kBr) return static_cast<int>(kNumFuseHeads);
+  if (op == MicroOp::kCondBr) return static_cast<int>(kNumFuseHeads) + 1;
+  return FuseHeadIndex(op);
+}
+constexpr MicroOp PairMacro(int head, int tail) {
+  return static_cast<MicroOp>(static_cast<size_t>(MacroOp::kPairBase) +
+                              static_cast<size_t>(head) * kNumFuseTails +
+                              static_cast<size_t>(tail));
+}
+
+// Number of constituent micro-ops a fused opcode covers (1 for plain
+// micro-ops).
+inline uint32_t FusedLength(MicroOp op) {
+  if (!IsMacroOp(op)) return 1;
+  const auto v = static_cast<uint8_t>(op);
+  if (v == static_cast<uint8_t>(MacroOp::kFuse3) ||
+      v >= static_cast<uint8_t>(MacroOp::kTripleBase)) {
+    return 3;
+  }
+  return 2;
+}
+
 struct DecodedOp {
   MicroOp op = MicroOp::kCount;
   // Sub-operation: BinOp / CastKind / LibFunc / IntrinsicId, as applicable.
@@ -85,7 +205,15 @@ struct DecodedOp {
   uint32_t dest = 0xffffffffu;
   // Up to three pre-resolved operands (every opcode except calls has <= 3).
   OperandSlot a, b, c;
-  // Opcode-specific payload (sizes, offsets, baked addresses); see decode.cc.
+  // Fused head only: index into DecodedModule::patterns() (dynamic hit
+  // stats) and the head's original micro opcode (generic macro dispatch).
+  uint16_t fuse_id = 0;
+  uint8_t fuse_head = 0;
+  // kAlloca: safe-stack placement; kLibCall: checked variant; kRet: has a
+  // return value.
+  bool flag = false;
+  // Opcode-specific payload (sizes, offsets, baked addresses, call/spawn
+  // callee ordinals); see decode.cc.
   uint64_t imm = 0;
   uint64_t imm2 = 0;
   // Branch targets as op indices (kCondBr: taken / fall-through).
@@ -94,39 +222,86 @@ struct DecodedOp {
   // Call arguments: a [arg_begin, arg_begin+arg_count) range of pre-resolved
   // slots in DecodedFunction::args.
   uint32_t arg_begin = 0;
-  uint32_t arg_count = 0;
-  // kAlloca: safe-stack placement; kLibCall: checked variant; kRet: has a
-  // return value.
-  bool flag = false;
-  // The IR instruction this op was decoded from. Calls keep their identity
-  // here (Frame::pending_call and return-value plumbing), and the shared
-  // libcall/intrinsic bodies use it for nothing else.
-  const ir::Instruction* inst = nullptr;
-  const ir::Function* callee = nullptr;
+  uint16_t arg_count = 0;
 };
+// One cache line holds a fused pair's head and tail plus change; keeping the
+// hot op stream at 80 bytes (down from 112) is a measurable win for both
+// engines.
+static_assert(sizeof(DecodedOp) == 80, "DecodedOp must stay 80 bytes");
 
 struct DecodedFunction {
   const ir::Function* func = nullptr;
-  std::vector<DecodedOp> ops;      // blocks flattened in block order
-  std::vector<OperandSlot> args;   // call-argument slot pool
+  std::vector<DecodedOp> ops;     // blocks flattened in block order
+  std::vector<OperandSlot> args;  // call-argument slot pool
+  // Cold side table, parallel to `ops`: the IR instruction each op was
+  // decoded from. Only the call path reads it at run time
+  // (Frame::pending_call and return-value plumbing).
+  std::vector<const ir::Instruction*> insts;
+  // Op index of each basic block's first op, in block order (fusion never
+  // crosses these; tests introspect them).
+  std::vector<uint32_t> block_starts;
+};
+
+// One distinct fused shape discovered in a module, e.g.
+// "binop(slt)+condbr" or "intrinsic(cpi_load)+intrinsic(cpi_assert_code)".
+struct FusePattern {
+  std::string name;
+  uint64_t sites = 0;    // static fusion sites rewritten to this shape
+  uint64_t weight = 0;   // sum of loop-nesting weights of those sites
 };
 
 // All functions of a module, decoded once per Execute call and cached for
 // its lifetime. Indexed by ir::Function::ordinal(), which also underlies
 // code addresses — so an indirect-call target address resolves to its
-// decoded body with pure arithmetic.
+// decoded body with pure arithmetic. With `fuse` set, the profile-guided
+// fusion pass runs over every function after decoding.
 class DecodedModule {
  public:
-  DecodedModule(const ir::Module& module, const ProgramLayout& layout);
+  DecodedModule(const ir::Module& module, const ProgramLayout& layout,
+                bool fuse = false);
 
   const DecodedFunction& ForFunction(const ir::Function* f) const {
     CPI_CHECK(f->ordinal() < functions_.size());
     return *functions_[f->ordinal()];
   }
 
+  // Fusion metadata (empty when decoded without fusion).
+  const std::vector<FusePattern>& patterns() const { return patterns_; }
+  uint64_t ops_before_fusion() const { return ops_before_; }
+  uint64_t ops_after_fusion() const { return ops_after_; }
+
  private:
   std::vector<std::unique_ptr<DecodedFunction>> functions_;
+  std::vector<FusePattern> patterns_;
+  uint64_t ops_before_ = 0;
+  uint64_t ops_after_ = 0;
 };
+
+// Process-wide fusion statistics, aggregated across every fused
+// DecodedModule built and every fused execution since the last reset (the
+// bench drivers run many cells; the suite reports the aggregate). Static
+// site/weight numbers accumulate at decode time, dynamic hit counts when a
+// Machine finishes running. Thread-safe.
+struct FusionPatternStat {
+  std::string name;
+  uint64_t sites = 0;
+  uint64_t weight = 0;
+  uint64_t hits = 0;  // dynamic executions of the fused form
+};
+
+struct FusionStats {
+  uint64_t modules = 0;      // fused DecodedModules built
+  uint64_t ops_before = 0;   // decoded ops before fusion, summed
+  uint64_t ops_after = 0;    // dispatched ops after fusion, summed
+  std::vector<FusionPatternStat> patterns;  // sorted by hits, descending
+};
+
+void ResetFusionStats();
+FusionStats GetFusionStats();
+// Internal: called by DecodedModule / Machine to accumulate.
+void AccumulateFusionDecode(const DecodedModule& m);
+void AccumulateFusionHits(const std::vector<FusePattern>& patterns,
+                          const std::vector<uint64_t>& hits);
 
 }  // namespace cpi::vm
 

@@ -22,6 +22,15 @@ const char* RunStatusName(RunStatus s) {
   CPI_UNREACHABLE();
 }
 
+const char* EngineKindName(EngineKind e) {
+  switch (e) {
+    case EngineKind::kReference: return "reference";
+    case EngineKind::kDecoded: return "decoded";
+    case EngineKind::kFused: return "fused";
+  }
+  CPI_UNREACHABLE();
+}
+
 namespace {
 
 using ir::BasicBlock;
@@ -134,7 +143,10 @@ class Machine {
   void LoadProgram();
 
   // --- trap handling -------------------------------------------------------
-  void Trap(RunStatus status, Violation v, std::string message) {
+  // Traps fire at most once per run; keeping them out of line keeps the
+  // flattened fused loop's hot code small.
+  __attribute__((noinline, cold)) void Trap(RunStatus status, Violation v,
+                                            std::string message) {
     if (done_) {
       return;
     }
@@ -143,16 +155,18 @@ class Machine {
     result_.violation = v;
     result_.message = std::move(message);
   }
-  void Crash(std::string message) {
+  __attribute__((noinline, cold)) void Crash(std::string message) {
     Trap(RunStatus::kCrash, Violation::kNone, std::move(message));
   }
-  void Abort(Violation v, std::string message) {
+  __attribute__((noinline, cold)) void Abort(Violation v, std::string message) {
     Trap(RunStatus::kViolation, v, std::move(message));
   }
 
   // --- cost accounting -----------------------------------------------------
-  void Cycles(uint64_t n) { result_.counters.cycles += n; }
-  void ChargeAccess(uint64_t addr) {
+  __attribute__((always_inline)) void Cycles(uint64_t n) {
+    result_.counters.cycles += n;
+  }
+  __attribute__((always_inline)) void ChargeAccess(uint64_t addr) {
     ++result_.counters.mem_accesses;
     Cycles(cur_->cache.Access(addr));
   }
@@ -166,7 +180,8 @@ class Machine {
   // --- value plumbing ------------------------------------------------------
   uint64_t Eval(const Frame& f, const Value* v) const;
   RegMeta EvalMeta(const Frame& f, const Value* v) const;
-  void SetRegId(Frame& f, uint32_t id, uint64_t value, const RegMeta& meta) {
+  __attribute__((always_inline)) void SetRegId(Frame& f, uint32_t id,
+                                               uint64_t value, const RegMeta& meta) {
     f.regs[id] = value;
     f.meta[id] = meta;
   }
@@ -174,11 +189,13 @@ class Machine {
     SetRegId(f, inst->value_id(), value, meta);
   }
   // Decoded-operand plumbing: constants were masked at decode time.
-  static uint64_t SlotVal(const Frame& f, const OperandSlot& s) {
-    return s.is_imm ? s.imm : f.regs[s.reg];
+  __attribute__((always_inline)) static uint64_t SlotVal(const Frame& f,
+                                                         const OperandSlot& s) {
+    return s.is_imm() ? s.imm() : f.regs[s.reg];
   }
-  static RegMeta SlotMeta(const Frame& f, const OperandSlot& s) {
-    return s.is_imm ? RegMeta::None() : f.meta[s.reg];
+  __attribute__((always_inline)) static RegMeta SlotMeta(const Frame& f,
+                                                         const OperandSlot& s) {
+    return s.is_imm() ? RegMeta::None() : f.meta[s.reg];
   }
 
   // Operand accessors bridging the two engines into the shared semantic
@@ -265,8 +282,57 @@ class Machine {
 
   // --- decoded engine -------------------------------------------------------
   using Handler = void (*)(Machine&, Frame&, const DecodedOp&);
-  static const Handler kDispatch[static_cast<size_t>(MicroOp::kCount)];
+  static const Handler kDispatch[kNumOpcodes];
   void RunDecodedLoop();
+  void RunFusedLoop();
+  // Charges the dispatch-loop costs (fuel check, instruction count, base
+  // cycles, quantum tick) for the next constituent of a fused sequence —
+  // exactly what RunDecodedLoop's header would have charged had the
+  // constituent been dispatched on its own. The quantum tick is clamped so
+  // a macro never reschedules mid-sequence; the loop's own decrement fires
+  // the (at most two ops deferred) context switch right after the macro,
+  // which race-free programs cannot observe (tests/sched_test.cc sweeps the
+  // quantum for exactly this invariance). Returns false when the macro must
+  // stop (trap, including out-of-fuel between constituents).
+  // Batched charging for a macro's tail constituents: one fuel-headroom
+  // check, one counter update, one clamped quantum step — instead of a
+  // FusedStep per tail. Returns false when fewer than `tails` steps of fuel
+  // remain; the caller then falls back to per-constituent FusedStep
+  // charging so an out-of-fuel trap lands on exactly the same constituent
+  // as unfused dispatch would.
+  __attribute__((always_inline)) bool PrechargeTails(uint64_t tails) {
+    if (result_.counters.instructions + tails > options_.max_steps) {
+      return false;
+    }
+    result_.counters.instructions += tails;
+    Cycles(tails * kBaseCycles);
+    // == applying FusedStep's clamped decrement `tails` times.
+    const uint64_t dec = quantum_left_ - 1 < tails ? quantum_left_ - 1 : tails;
+    quantum_left_ -= dec;
+    return true;
+  }
+  // A constituent trapped after PrechargeTails: the constituents after it
+  // never ran, so return their pre-charged costs — trap-time counters stay
+  // bit-identical to unfused dispatch, where charging stops at the trap.
+  __attribute__((always_inline)) void UnchargeTails(uint64_t not_run) {
+    result_.counters.instructions -= not_run;
+    result_.counters.cycles -= not_run * kBaseCycles;
+  }
+  __attribute__((always_inline)) bool FusedStep() {
+    if (done_) {
+      return false;
+    }
+    if (result_.counters.instructions >= options_.max_steps) {
+      Trap(RunStatus::kOutOfFuel, Violation::kNone, "step budget exhausted");
+      return false;
+    }
+    ++result_.counters.instructions;
+    Cycles(kBaseCycles);
+    if (quantum_left_ > 1) {
+      --quantum_left_;
+    }
+    return true;
+  }
   static void OpAlloca(Machine& m, Frame& f, const DecodedOp& op);
   static void OpLoad(Machine& m, Frame& f, const DecodedOp& op);
   static void OpStore(Machine& m, Frame& f, const DecodedOp& op);
@@ -291,6 +357,83 @@ class Machine {
   static void OpSpawn(Machine& m, Frame& f, const DecodedOp& op);
   static void OpJoin(Machine& m, Frame& f, const DecodedOp& op);
   static void OpYield(Machine& m, Frame& f, const DecodedOp& op);
+
+  // --- fused engine (superinstruction handlers) -----------------------------
+  // Each executes its constituents' micro semantics back to back, charging
+  // the tails in one batch (PrechargeTails) so the simulated Counters match
+  // the unfused dispatch bit for bit. Constituent ops still sit in the op
+  // array after the head with their original opcodes; straight-line
+  // constituents advance f.ip by exactly one, so tails are *(&op + k).
+  //
+  // FusePair/FuseTriple are instantiated once per macro opcode with the
+  // constituent handlers as template arguments: every constituent is a
+  // direct, statically-predictable call. kTraps* marks constituents that can
+  // trap (loads, stores, binop division, intrinsics); only those pay a done_
+  // check and a counter rollback path.
+  static void OpCmpBr(Machine& m, Frame& f, const DecodedOp& op);
+  template <Handler A, Handler B, bool kTrapsA>
+  static void FusePair(Machine& m, Frame& f, const DecodedOp& op) {
+    ++m.fuse_hits_[op.fuse_id];
+    if (!m.PrechargeTails(1)) {  // out-of-fuel boundary: exact per-op charging
+      A(m, f, op);
+      if (!m.FusedStep()) return;
+      B(m, f, f.dfunc->ops[f.ip]);
+      return;
+    }
+    A(m, f, op);
+    if (kTrapsA && m.done_) {
+      m.UnchargeTails(1);
+      return;
+    }
+    B(m, f, *(&op + 1));
+  }
+  template <Handler A, Handler B, Handler C, bool kTrapsA, bool kTrapsB>
+  static void FuseTriple(Machine& m, Frame& f, const DecodedOp& op) {
+    ++m.fuse_hits_[op.fuse_id];
+    if (!m.PrechargeTails(2)) {  // out-of-fuel boundary: exact per-op charging
+      A(m, f, op);
+      if (!m.FusedStep()) return;
+      B(m, f, f.dfunc->ops[f.ip]);
+      if (!m.FusedStep()) return;
+      C(m, f, f.dfunc->ops[f.ip]);
+      return;
+    }
+    A(m, f, op);
+    if (kTrapsA && m.done_) {
+      m.UnchargeTails(2);
+      return;
+    }
+    B(m, f, *(&op + 1));
+    if (kTrapsB && m.done_) {
+      m.UnchargeTails(1);
+      return;
+    }
+    C(m, f, *(&op + 2));
+  }
+  static void OpFuse2(Machine& m, Frame& f, const DecodedOp& op);
+  static void OpFuse3(Machine& m, Frame& f, const DecodedOp& op);
+  // Dispatches one constituent of a generic fused sequence. The switch
+  // covers exactly the fusible micro-op set (decode.cc: FusibleInner /
+  // FusibleTail), so the generic macro handlers inline their constituents
+  // instead of bouncing through kDispatch — the whole point of fusing.
+  __attribute__((always_inline)) static void DispatchConstituent(
+      Machine& m, Frame& f, const DecodedOp& op, MicroOp opcode) {
+    switch (opcode) {
+      case MicroOp::kLoad: OpLoad(m, f, op); break;
+      case MicroOp::kStore: OpStore(m, f, op); break;
+      case MicroOp::kFieldAddr: OpFieldAddr(m, f, op); break;
+      case MicroOp::kIndexAddr: OpIndexAddr(m, f, op); break;
+      case MicroOp::kBinOp: OpBinOp(m, f, op); break;
+      case MicroOp::kCast: OpCast(m, f, op); break;
+      case MicroOp::kSelect: OpSelect(m, f, op); break;
+      case MicroOp::kFuncAddr: OpFuncAddr(m, f, op); break;
+      case MicroOp::kGlobalAddr: OpGlobalAddr(m, f, op); break;
+      case MicroOp::kBr: OpBr(m, f, op); break;
+      case MicroOp::kCondBr: OpCondBr(m, f, op); break;
+      case MicroOp::kIntrinsic: OpIntrinsic(m, f, op); break;
+      default: kDispatch[static_cast<size_t>(opcode)](m, f, op); break;
+    }
+  }
 
   // --- scheduler ------------------------------------------------------------
   // Rotates to the next runnable thread (round-robin by thread id, starting
@@ -399,6 +542,9 @@ class Machine {
 
   ProgramLayout layout_;  // flat per-ordinal address vectors
   std::unique_ptr<DecodedModule> decoded_;  // null when running the reference
+  // Dynamic executions per fused pattern (indexed like decoded_->patterns());
+  // flushed into the process-wide fusion stats when the run finishes.
+  std::vector<uint64_t> fuse_hits_;
 
   // Heap block table (shared; arenas and free lists are per-thread).
   std::map<uint64_t, HeapBlock> heap_blocks_;
@@ -719,10 +865,13 @@ void Machine::ReturnToCaller(uint64_t value, const RegMeta& meta) {
 
 RunResult Machine::Run() {
   LoadProgram();
-  if (!options_.reference_interpreter) {
-    // One-time translation to the flat micro-op form, cached for the whole
-    // run (the decoded module outlives every frame pushed below).
-    decoded_ = std::make_unique<DecodedModule>(module_, layout_);
+  if (options_.engine != EngineKind::kReference) {
+    // One-time translation to the flat micro-op form — plus the fusion pass
+    // on the fused tier — cached for the whole run (the decoded module
+    // outlives every frame pushed below).
+    decoded_ = std::make_unique<DecodedModule>(module_, layout_,
+                                               options_.engine == EngineKind::kFused);
+    fuse_hits_.assign(decoded_->patterns().size(), 0);
   }
 
   const Function* main_fn = module_.FindFunction("main");
@@ -731,19 +880,28 @@ RunResult Machine::Run() {
   PushFrame(main_fn, {}, {}, /*no_continuation=*/false);
 
   quantum_left_ = std::max<uint64_t>(options_.quantum, 1);
-  if (options_.reference_interpreter) {
-    while (!done_) {
-      if (result_.counters.instructions >= options_.max_steps) {
-        Trap(RunStatus::kOutOfFuel, Violation::kNone, "step budget exhausted");
-        break;
+  switch (options_.engine) {
+    case EngineKind::kReference:
+      while (!done_) {
+        if (result_.counters.instructions >= options_.max_steps) {
+          Trap(RunStatus::kOutOfFuel, Violation::kNone, "step budget exhausted");
+          break;
+        }
+        Step();
+        if ((resched_ || --quantum_left_ == 0) && !done_) {
+          Reschedule();
+        }
       }
-      Step();
-      if ((resched_ || --quantum_left_ == 0) && !done_) {
-        Reschedule();
-      }
-    }
-  } else {
-    RunDecodedLoop();
+      break;
+    case EngineKind::kDecoded:
+      RunDecodedLoop();
+      break;
+    case EngineKind::kFused:
+      RunFusedLoop();
+      break;
+  }
+  if (decoded_ != nullptr && !decoded_->patterns().empty()) {
+    AccumulateFusionHits(decoded_->patterns(), fuse_hits_);
   }
 
   // Per-thread caches and safe stacks aggregate into the run totals; the
@@ -2031,12 +2189,15 @@ void Machine::DoCallSlots(Frame& f, const DecodedOp& op, const Function* callee)
     args[i] = SlotVal(f, slots[i]);
     metas[i] = SlotMeta(f, slots[i]);
   }
-  f.pending_call = op.inst;
+  // The call instruction's identity lives in the cold side table, parallel
+  // to the op array (return-value plumbing needs the ir::Instruction).
+  f.pending_call = f.dfunc->insts[&op - f.dfunc->ops.data()];
   PushFrame(callee, args, metas, /*no_continuation=*/false);
 }
 
 void Machine::OpCall(Machine& m, Frame& f, const DecodedOp& op) {
-  m.DoCallSlots(f, op, op.callee);
+  // imm = callee ordinal, baked at decode time.
+  m.DoCallSlots(f, op, m.module_.functions()[op.imm].get());
 }
 
 void Machine::OpIndirectCall(Machine& m, Frame& f, const DecodedOp& op) {
@@ -2119,7 +2280,8 @@ void Machine::OpSpawn(Machine& m, Frame& f, const DecodedOp& op) {
     args[i] = SlotVal(f, slots[i]);
     metas[i] = SlotMeta(f, slots[i]);
   }
-  m.DoSpawn(f, op.callee, std::move(args), std::move(metas), op.dest);
+  m.DoSpawn(f, m.module_.functions()[op.imm].get(), std::move(args), std::move(metas),
+            op.dest);
 }
 
 void Machine::OpJoin(Machine& m, Frame& f, const DecodedOp& op) {
@@ -2128,8 +2290,116 @@ void Machine::OpJoin(Machine& m, Frame& f, const DecodedOp& op) {
 
 void Machine::OpYield(Machine& m, Frame& f, const DecodedOp&) { m.DoYield(f); }
 
-// Indexed by MicroOp; must match the enum order in decode.h.
-const Machine::Handler Machine::kDispatch[static_cast<size_t>(MicroOp::kCount)] = {
+// ---------------------------------------------------------------------------
+// Fused engine: superinstruction handlers. The head op carries the macro
+// opcode; its constituents follow it in the op array with their original
+// micro opcodes and payloads. Almost every macro is a FusePair/FuseTriple
+// template instantiation (declared in the class body): the pair matrix and
+// the specialised triple shapes are expanded directly into the dispatch
+// table below. OpCmpBr additionally inlines both constituent bodies;
+// OpFuse2/OpFuse3 are the generic fallbacks driven by fuse_head.
+
+void Machine::OpCmpBr(Machine& m, Frame& f, const DecodedOp& op) {
+  ++m.fuse_hits_[op.fuse_id];
+  // Head: integer compare (the planner only picks kCmpBr for these, and
+  // only when the branch consumes the compare's destination register).
+  const uint64_t x = SlotVal(f, op.a);
+  const uint64_t y = SlotVal(f, op.b);
+  const int64_t sx = SignExtend(x, op.bits);
+  const int64_t sy = SignExtend(y, op.bits);
+  uint64_t r = 0;
+  switch (static_cast<BinOp>(op.aux)) {
+    case BinOp::kEq: r = x == y; break;
+    case BinOp::kNe: r = x != y; break;
+    case BinOp::kSLt: r = sx < sy; break;
+    case BinOp::kSLe: r = sx <= sy; break;
+    case BinOp::kSGt: r = sx > sy; break;
+    case BinOp::kSGe: r = sx >= sy; break;
+    case BinOp::kULt: r = x < y; break;
+    case BinOp::kULe: r = x <= y; break;
+    default: CPI_UNREACHABLE();
+  }
+  r = MaskToWidth(r, op.bits2);
+  m.SetRegId(f, op.dest, r, RegMeta::None());
+  ++f.ip;
+  // Tail: the conditional branch, on the value just computed. Neither
+  // constituent can trap, so the batched charge never needs rolling back.
+  if (!m.PrechargeTails(1)) {
+    if (!m.FusedStep()) return;
+  }
+  const DecodedOp& t = *(&op + 1);
+  f.ip = r != 0 ? t.target : t.target2;
+}
+
+void Machine::OpFuse2(Machine& m, Frame& f, const DecodedOp& op) {
+  ++m.fuse_hits_[op.fuse_id];
+  if (!m.PrechargeTails(1)) {
+    DispatchConstituent(m, f, op, static_cast<MicroOp>(op.fuse_head));
+    if (!m.FusedStep()) return;
+    const DecodedOp& t = f.dfunc->ops[f.ip];
+    DispatchConstituent(m, f, t, t.op);
+    return;
+  }
+  DispatchConstituent(m, f, op, static_cast<MicroOp>(op.fuse_head));
+  if (m.done_) {
+    m.UnchargeTails(1);
+    return;
+  }
+  // Straight-line constituents sit right after the head (every fusible
+  // inner op advances f.ip by exactly one), so tails are *(&op + k).
+  const DecodedOp& t = *(&op + 1);
+  DispatchConstituent(m, f, t, t.op);
+}
+
+void Machine::OpFuse3(Machine& m, Frame& f, const DecodedOp& op) {
+  ++m.fuse_hits_[op.fuse_id];
+  if (!m.PrechargeTails(2)) {
+    DispatchConstituent(m, f, op, static_cast<MicroOp>(op.fuse_head));
+    if (!m.FusedStep()) return;
+    const DecodedOp& t1 = f.dfunc->ops[f.ip];
+    DispatchConstituent(m, f, t1, t1.op);
+    if (!m.FusedStep()) return;
+    const DecodedOp& t2 = f.dfunc->ops[f.ip];
+    DispatchConstituent(m, f, t2, t2.op);
+    return;
+  }
+  DispatchConstituent(m, f, op, static_cast<MicroOp>(op.fuse_head));
+  if (m.done_) {
+    m.UnchargeTails(2);
+    return;
+  }
+  const DecodedOp& t1 = *(&op + 1);
+  DispatchConstituent(m, f, t1, t1.op);
+  if (m.done_) {
+    m.UnchargeTails(1);
+    return;
+  }
+  const DecodedOp& t2 = *(&op + 2);
+  DispatchConstituent(m, f, t2, t2.op);
+}
+
+// The pair matrix and triple shapes, expanded into FusePair/FuseTriple
+// instantiations. Head/tail order MUST match kFuseHeadOps (tails = heads +
+// kBr + kCondBr) and kTripleShapes in decode.h — the fuser computes the
+// macro opcode as a matrix index. The bool after each head marks whether
+// that constituent can trap (loads, stores, binop division, intrinsics).
+#define CPI_FUSE_TAILS(P, H, HT)                                         \
+  P(H, HT, Load) P(H, HT, Store) P(H, HT, FieldAddr) P(H, HT, IndexAddr) \
+  P(H, HT, BinOp) P(H, HT, Cast) P(H, HT, Select) P(H, HT, FuncAddr)     \
+  P(H, HT, GlobalAddr) P(H, HT, Intrinsic) P(H, HT, Br) P(H, HT, CondBr)
+#define CPI_FUSE_PAIRS(P)                                                 \
+  CPI_FUSE_TAILS(P, Load, true) CPI_FUSE_TAILS(P, Store, true)            \
+  CPI_FUSE_TAILS(P, FieldAddr, false) CPI_FUSE_TAILS(P, IndexAddr, false) \
+  CPI_FUSE_TAILS(P, BinOp, true) CPI_FUSE_TAILS(P, Cast, false)           \
+  CPI_FUSE_TAILS(P, Select, false) CPI_FUSE_TAILS(P, FuncAddr, false)     \
+  CPI_FUSE_TAILS(P, GlobalAddr, false) CPI_FUSE_TAILS(P, Intrinsic, true)
+#define CPI_PAIR_ENTRY(H, HT, T) \
+  &Machine::FusePair<&Machine::Op##H, &Machine::Op##T, HT>,
+#define CPI_TRIPLE_ENTRY(A, AT, B, BT, C) \
+  &Machine::FuseTriple<&Machine::Op##A, &Machine::Op##B, &Machine::Op##C, AT, BT>,
+
+// Indexed by MicroOp then MacroOp; must match the enum orders in decode.h.
+const Machine::Handler Machine::kDispatch[kNumOpcodes] = {
     &Machine::OpAlloca,   &Machine::OpLoad,         &Machine::OpStore,
     &Machine::OpFieldAddr, &Machine::OpIndexAddr,   &Machine::OpBinOp,
     &Machine::OpCast,     &Machine::OpSelect,       &Machine::OpCall,
@@ -2138,7 +2408,28 @@ const Machine::Handler Machine::kDispatch[static_cast<size_t>(MicroOp::kCount)] 
     &Machine::OpBr,       &Machine::OpCondBr,       &Machine::OpRet,
     &Machine::OpInput,    &Machine::OpOutput,       &Machine::OpIntrinsic,
     &Machine::OpSpawn,    &Machine::OpJoin,         &Machine::OpYield,
+    // Macro-ops (fused tier only; the decoded tier never emits them).
+    &Machine::OpCmpBr,
+    &Machine::OpFuse2,
+    &Machine::OpFuse3,
+    // kPairBase: the head x tail matrix.
+    CPI_FUSE_PAIRS(CPI_PAIR_ENTRY)
+    // kTripleBase: kTripleShapes order.
+    CPI_TRIPLE_ENTRY(Load, true, BinOp, true, CondBr)
+    CPI_TRIPLE_ENTRY(Load, true, GlobalAddr, false, IndexAddr)
+    CPI_TRIPLE_ENTRY(Store, true, Load, true, BinOp)
+    CPI_TRIPLE_ENTRY(BinOp, true, Store, true, Br)
+    CPI_TRIPLE_ENTRY(Load, true, IndexAddr, false, Load)
+    CPI_TRIPLE_ENTRY(Load, true, BinOp, true, GlobalAddr)
+    CPI_TRIPLE_ENTRY(Load, true, BinOp, true, Store)
+    CPI_TRIPLE_ENTRY(IndexAddr, false, Store, true, Load)
+    CPI_TRIPLE_ENTRY(BinOp, true, Store, true, FieldAddr)
 };
+#undef CPI_FUSE_TAILS
+#undef CPI_FUSE_PAIRS
+#undef CPI_PAIR_ENTRY
+#undef CPI_TRIPLE_ENTRY
+
 
 void Machine::RunDecodedLoop() {
   while (!done_) {
@@ -2150,6 +2441,28 @@ void Machine::RunDecodedLoop() {
     // Same malformed-IR guard as the reference Step(): a block missing its
     // terminator must abort loudly, not fall through into the next block's
     // flattened ops.
+    CPI_CHECK(f.ip < f.dfunc->ops.size());
+    const DecodedOp& op = f.dfunc->ops[f.ip];
+    ++result_.counters.instructions;
+    Cycles(kBaseCycles);
+    kDispatch[static_cast<size_t>(op.op)](*this, f, op);
+    if ((resched_ || --quantum_left_ == 0) && !done_) {
+      Reschedule();
+    }
+  }
+}
+
+// The fused tier's loop: identical charging structure to RunDecodedLoop
+// (the macro handlers charge their tails through FusedStep), with the
+// hottest handlers dispatched through a switch so the compiler can inline
+// them into the loop body instead of an indirect call per op.
+void Machine::RunFusedLoop() {
+  while (!done_) {
+    if (result_.counters.instructions >= options_.max_steps) {
+      Trap(RunStatus::kOutOfFuel, Violation::kNone, "step budget exhausted");
+      break;
+    }
+    Frame& f = cur_->frames.back();
     CPI_CHECK(f.ip < f.dfunc->ops.size());
     const DecodedOp& op = f.dfunc->ops[f.ip];
     ++result_.counters.instructions;

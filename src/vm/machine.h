@@ -40,6 +40,19 @@ enum class RunStatus {
 
 const char* RunStatusName(RunStatus s);
 
+// Execution tiers. All three produce bit-identical RunResults — simulated
+// counters, output, memory footprint, violations — and differ only in
+// wall-clock (tests/decode_test.cc and tests/fuse_test.cc enforce the
+// equivalence). kFused is the default everywhere; the slower tiers exist as
+// oracles and escape hatches (`--engine` in the bench drivers).
+enum class EngineKind : uint8_t {
+  kReference,  // tier 1: tree-walking evaluator over the IR object graph
+  kDecoded,    // tier 2: predecoded micro-op dispatch
+  kFused,      // tier 3: predecoded + profile-guided superinstructions
+};
+
+const char* EngineKindName(EngineKind e);
+
 // Per-operation cycle costs of the active protection scheme. Each
 // core::ProtectionScheme fills in the entries its instrumentation exercises
 // (via ConfigureRun), so the cost model is scheme-supplied data rather than
@@ -60,11 +73,10 @@ struct RunOptions {
   uint64_t max_steps = 200'000'000;
   runtime::StoreKind store = runtime::StoreKind::kArray;
   runtime::IsolationKind isolation = runtime::IsolationKind::kSegment;
-  // Run the original tree-walking evaluator instead of the predecoded
-  // threaded-dispatch engine. Both produce bit-identical RunResults (the
-  // differential test in tests/decode_test.cc enforces this); the reference
+  // Which execution tier runs the program. Every tier produces bit-identical
+  // RunResults (the differential tests enforce this); the reference
   // interpreter exists as the oracle, not as a supported fast path.
-  bool reference_interpreter = false;
+  EngineKind engine = EngineKind::kFused;
   // §4 "Future MPX-based implementation": hardware-assisted bounds checks
   // cost no extra cycles (metadata traffic remains).
   bool mpx_assist = false;
