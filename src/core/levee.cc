@@ -82,6 +82,7 @@ vm::RunResult Run(const ir::Module& module, const Config& config, const Input& i
   options.seed = config.seed;
   options.input_words = input.words;
   options.input_bytes = input.bytes;
+  options.faults = config.faults;
   return vm::Execute(module, options);
 }
 

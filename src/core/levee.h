@@ -77,6 +77,11 @@ struct Config {
   uint64_t thread_quantum = 64;
   uint64_t max_steps = 200'000'000;
   uint64_t seed = 1;
+  // Optional adversarial fault plan forwarded to vm::RunOptions::faults (see
+  // src/vm/fault.h). Null for every normal run; the fuzz harness uses it to
+  // prove schemes contain injected runtime failures instead of crashing the
+  // host.
+  const vm::FaultPlan* faults = nullptr;
 };
 
 // Static compilation statistics — Table 2's columns for this module, plus

@@ -1,0 +1,77 @@
+#include "src/fuzz/corpus.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cpi::fuzz {
+
+namespace {
+constexpr char kMagic[] = "cpi-fuzz-plan v1";
+}  // namespace
+
+std::string SerializePlan(const Plan& plan) {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "seed " << plan.seed << "\n";
+  out << "pools " << plan.num_slots << " " << plan.num_leaves << " " << plan.num_pure
+      << " " << plan.num_cells << " " << plan.num_workers << "\n";
+  for (const PlannedOp& op : plan.ops) {
+    out << "op " << static_cast<unsigned>(op.kind) << " " << op.a << " " << op.b << " "
+        << op.c << " " << op.d << "\n";
+  }
+  return out.str();
+}
+
+bool ParsePlan(const std::string& text, Plan* out) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return false;
+  }
+  Plan plan;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) {
+      continue;  // blank line
+    }
+    if (tag == "seed") {
+      ls >> plan.seed;
+    } else if (tag == "pools") {
+      ls >> plan.num_slots >> plan.num_leaves >> plan.num_pure >> plan.num_cells >>
+          plan.num_workers;
+    } else if (tag == "op") {
+      unsigned kind = 0;
+      PlannedOp op;
+      if (ls >> kind >> op.a >> op.b >> op.c >> op.d) {
+        op.kind = static_cast<uint8_t>(kind);
+        plan.ops.push_back(op);
+      }
+    }
+    // Unknown tags are skipped: forward-compatible with annotated entries.
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+bool SavePlanFile(const std::string& path, const Plan& plan) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << SerializePlan(plan);
+  return static_cast<bool>(out);
+}
+
+bool LoadPlanFile(const std::string& path, Plan* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParsePlan(buf.str(), out);
+}
+
+}  // namespace cpi::fuzz

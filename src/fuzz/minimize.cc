@@ -1,0 +1,125 @@
+#include "src/fuzz/minimize.h"
+
+#include <algorithm>
+
+namespace cpi::fuzz {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(const Plan& seed, const DiffOptions& options, CaseStatus failure, int budget)
+      : best_(seed), options_(options), failure_(failure), budget_(budget) {}
+
+  MinimizeResult Run() {
+    bool progress = true;
+    while (progress && evaluations_ < budget_) {
+      progress = false;
+      progress |= DdminOps();
+      progress |= SimplifyOps();
+      progress |= ShrinkPools();
+    }
+    return MinimizeResult{best_, evaluations_};
+  }
+
+ private:
+  // True when `candidate` still fails the same way; adopts it if so.
+  bool Try(const Plan& candidate) {
+    if (evaluations_ >= budget_) {
+      return false;
+    }
+    ++evaluations_;
+    if (RunCase(candidate, options_).status == failure_) {
+      best_ = candidate;
+      return true;
+    }
+    return false;
+  }
+
+  // Classic ddmin over the op trace: try removing chunks of ops, halving the
+  // chunk size whenever a full sweep makes no progress.
+  bool DdminOps() {
+    bool any = false;
+    size_t chunk = std::max<size_t>(best_.ops.size() / 2, 1);
+    while (chunk >= 1 && evaluations_ < budget_) {
+      bool removed = false;
+      for (size_t start = 0; start < best_.ops.size() && evaluations_ < budget_;) {
+        Plan candidate = best_;
+        const size_t end = std::min(start + chunk, candidate.ops.size());
+        candidate.ops.erase(candidate.ops.begin() + static_cast<long>(start),
+                            candidate.ops.begin() + static_cast<long>(end));
+        if (!candidate.ops.empty() && Try(candidate)) {
+          removed = true;
+          any = true;
+          // best_ shrank; retry the same start index against the new trace.
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) {
+        break;
+      }
+      if (!removed) {
+        chunk /= 2;
+      }
+    }
+    return any;
+  }
+
+  // Zero the raw fields (Materialize reduces them, so zero is always the
+  // canonical smallest choice) and pull kinds toward plain arithmetic.
+  bool SimplifyOps() {
+    bool any = false;
+    for (size_t i = 0; i < best_.ops.size() && evaluations_ < budget_; ++i) {
+      {
+        Plan candidate = best_;
+        PlannedOp& op = candidate.ops[i];
+        if (op.a != 0 || op.b != 0 || op.c != 0 || op.d != 0) {
+          op.a = op.b = op.c = op.d = 0;
+          any |= Try(candidate);
+        }
+      }
+      if (best_.ops[i].kind % kNumOpKinds != kOpArith) {
+        Plan candidate = best_;
+        candidate.ops[i].kind = kOpArith;
+        any |= Try(candidate);
+      }
+    }
+    return any;
+  }
+
+  bool ShrinkPools() {
+    bool any = false;
+    auto shrink = [this, &any](uint32_t Plan::* field, uint32_t floor) {
+      while (best_.*field > floor && evaluations_ < budget_) {
+        Plan candidate = best_;
+        candidate.*field -= 1;
+        if (!Try(candidate)) {
+          break;
+        }
+        any = true;
+      }
+    };
+    shrink(&Plan::num_workers, 0);
+    shrink(&Plan::num_cells, 1);
+    shrink(&Plan::num_leaves, 1);
+    shrink(&Plan::num_pure, 1);
+    shrink(&Plan::num_slots, 1);
+    return any;
+  }
+
+  Plan best_;
+  const DiffOptions& options_;
+  const CaseStatus failure_;
+  const int budget_;
+  int evaluations_ = 0;
+};
+
+}  // namespace
+
+MinimizeResult Minimize(const Plan& plan, const DiffOptions& options, CaseStatus failure,
+                        int max_evaluations) {
+  return Shrinker(plan, options, failure, max_evaluations).Run();
+}
+
+}  // namespace cpi::fuzz

@@ -1,0 +1,33 @@
+// Delta-debugging minimizer for failing fuzz cases.
+//
+// Because generation is plan-based (src/fuzz/generator.h), shrinking never
+// has to reason about IR: it edits the recorded decision trace and
+// re-materializes. The predicate is "RunCase still reports the same failure
+// status"; any edit that loses the failure is rolled back.
+//
+// Three phases, iterated to a fixed point under an evaluation budget:
+//   1. ddmin over the op trace: remove chunks, halving granularity.
+//   2. per-op simplification: zero fields, rewrite kinds toward kOpArith.
+//   3. pool shrinking: workers, cells, leaves, slots down to their minima.
+#ifndef CPI_SRC_FUZZ_MINIMIZE_H_
+#define CPI_SRC_FUZZ_MINIMIZE_H_
+
+#include "src/fuzz/differential.h"
+#include "src/fuzz/generator.h"
+
+namespace cpi::fuzz {
+
+struct MinimizeResult {
+  Plan plan;           // smallest failing plan found
+  int evaluations = 0; // RunCase calls spent
+};
+
+// Shrinks `plan`, preserving `failure` (the status RunCase(plan, options)
+// reported; callers pass what they observed). `max_evaluations` bounds the
+// work; the best plan so far is returned when the budget runs out.
+MinimizeResult Minimize(const Plan& plan, const DiffOptions& options, CaseStatus failure,
+                        int max_evaluations = 600);
+
+}  // namespace cpi::fuzz
+
+#endif  // CPI_SRC_FUZZ_MINIMIZE_H_

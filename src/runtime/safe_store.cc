@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/support/check.h"
+#include "src/support/oom.h"
 
 namespace cpi::runtime {
 
@@ -74,6 +75,34 @@ class ArrayStore final : public SafePointerStore {
 
   uint64_t EntryCount() const override { return live_entries_; }
 
+  bool CorruptEntry(uint64_t which, uint64_t xor_mask) override {
+    if (live_entries_ == 0 || xor_mask == 0) {
+      return false;
+    }
+    // pages_ iterates in hash order; scan page ids sorted so the corrupted
+    // entry is a deterministic function of (which, store contents).
+    std::vector<uint64_t> ids;
+    ids.reserve(pages_.size());
+    for (const auto& [id, page] : pages_) {
+      (void)page;
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    uint64_t target = which % live_entries_;
+    for (uint64_t id : ids) {
+      for (SafeEntry& e : pages_[id]->entries) {
+        if (!e.IsPresent()) {
+          continue;
+        }
+        if (target-- == 0) {
+          e.value ^= xor_mask;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
  private:
   struct Page {
     SafeEntry entries[kSlotsPerPage];
@@ -90,6 +119,7 @@ class ArrayStore final : public SafePointerStore {
   Page& GetPage(uint64_t page_id) {
     auto it = pages_.find(page_id);
     if (it == pages_.end()) {
+      ConsumeGrowthAllocation();
       it = pages_.emplace(page_id, std::make_unique<Page>()).first;
     }
     return *it->second;
@@ -158,6 +188,32 @@ class TwoLevelStore final : public SafePointerStore {
 
   uint64_t EntryCount() const override { return live_entries_; }
 
+  bool CorruptEntry(uint64_t which, uint64_t xor_mask) override {
+    if (live_entries_ == 0 || xor_mask == 0) {
+      return false;
+    }
+    std::vector<uint64_t> ids;
+    ids.reserve(tables_.size());
+    for (const auto& [id, table] : tables_) {
+      (void)table;
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    uint64_t target = which % live_entries_;
+    for (uint64_t id : ids) {
+      for (SafeEntry& e : tables_[id]->entries) {
+        if (!e.IsPresent()) {
+          continue;
+        }
+        if (target-- == 0) {
+          e.value ^= xor_mask;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
  private:
   struct Table {
     SafeEntry entries[kSecondLevelSlots];
@@ -175,6 +231,7 @@ class TwoLevelStore final : public SafePointerStore {
   Table& GetTable(uint64_t table_id) {
     auto it = tables_.find(table_id);
     if (it == tables_.end()) {
+      ConsumeGrowthAllocation();
       it = tables_.emplace(table_id, std::make_unique<Table>()).first;
     }
     return *it->second;
@@ -290,6 +347,24 @@ class HashStore final : public SafePointerStore {
 
   uint64_t EntryCount() const override { return live_entries_; }
 
+  bool CorruptEntry(uint64_t which, uint64_t xor_mask) override {
+    if (live_entries_ == 0 || xor_mask == 0) {
+      return false;
+    }
+    // slots_ is a flat vector: index order is already deterministic.
+    uint64_t target = which % live_entries_;
+    for (Slot& s : slots_) {
+      if (s.state != SlotState::kLive) {
+        continue;
+      }
+      if (target-- == 0) {
+        s.entry.value ^= xor_mask;
+        return true;
+      }
+    }
+    return false;
+  }
+
  private:
   static constexpr size_t kInitialSlots = 1024;  // power of two
 
@@ -334,6 +409,7 @@ class HashStore final : public SafePointerStore {
   void Rehash() { RehashTo(std::max(slots_.size() * 2, kInitialSlots)); }
 
   void RehashTo(size_t new_size) {
+    ConsumeGrowthAllocation();
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(new_size, Slot{});
     live_entries_ = 0;
@@ -354,6 +430,17 @@ class HashStore final : public SafePointerStore {
 };
 
 }  // namespace
+
+void SafePointerStore::ConsumeGrowthAllocation() {
+  if (alloc_failure_countdown_ == kAllocFailureDisarmed) {
+    return;
+  }
+  if (alloc_failure_countdown_ == 0) {
+    alloc_failure_countdown_ = kAllocFailureDisarmed;
+    throw SimulatedOom("safe pointer store growth failed");
+  }
+  --alloc_failure_countdown_;
+}
 
 void SafePointerStore::ClearRange(uint64_t addr, uint64_t size) {
   const uint64_t first = addr & ~7ULL;

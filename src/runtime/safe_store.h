@@ -77,6 +77,27 @@ class SafePointerStore {
 
   // Number of live entries (diagnostics / tests).
   virtual uint64_t EntryCount() const = 0;
+
+  // Fault injection (vm::FaultPlan). InjectAllocFailure arms a one-shot
+  // simulated OOM: after `countdown` more growth allocations (array pages,
+  // second-level tables, hash rehashes) succeed, the next one throws
+  // SimulatedOom — the VM catches it and reports the run as crashed.
+  void InjectAllocFailure(uint64_t countdown) { alloc_failure_countdown_ = countdown; }
+
+  // XORs `xor_mask` into the protected value of the (`which` mod live)-th
+  // live entry, in a deterministic organisation-specific order. Models an
+  // attacker corrupting the metadata region itself (§3.2.3's secrecy
+  // assumption): subsequent checks must fire on the forged bounds/value
+  // rather than trust it. Returns false when the store holds no entries.
+  virtual bool CorruptEntry(uint64_t which, uint64_t xor_mask) = 0;
+
+ protected:
+  // Growth paths call this before allocating backing storage.
+  void ConsumeGrowthAllocation();
+
+ private:
+  static constexpr uint64_t kAllocFailureDisarmed = ~0ULL;
+  uint64_t alloc_failure_countdown_ = kAllocFailureDisarmed;
 };
 
 std::unique_ptr<SafePointerStore> CreateSafeStore(StoreKind kind);

@@ -1,0 +1,28 @@
+// Simulated allocation failure, shared by every runtime component that can
+// grow host-side storage on behalf of the simulated program (safe-store
+// organisations, ByteMemory pages).
+//
+// The fuzzing harness arms these failures through vm::FaultPlan to prove the
+// runtime degrades gracefully: an allocation failure inside a run must
+// surface as a reported RunStatus::kCrash — never as an uncaught
+// std::bad_alloc that kills the host process (the VM catches std::bad_alloc,
+// so a *real* OOM on the same paths is contained the same way).
+#ifndef CPI_SRC_SUPPORT_OOM_H_
+#define CPI_SRC_SUPPORT_OOM_H_
+
+#include <new>
+
+namespace cpi {
+
+class SimulatedOom : public std::bad_alloc {
+ public:
+  explicit SimulatedOom(const char* what) : what_(what) {}
+  const char* what() const noexcept override { return what_; }
+
+ private:
+  const char* what_;
+};
+
+}  // namespace cpi
+
+#endif  // CPI_SRC_SUPPORT_OOM_H_

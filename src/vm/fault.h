@@ -1,0 +1,89 @@
+// Fault injection for the VM: adversarial perturbations of the *simulated*
+// runtime, applied at deterministic instruction counts.
+//
+// A FaultPlan is the fuzzing harness's probe set (bench/fuzz, src/fuzz):
+// each event models a failure the paper's threat model or deployment story
+// has to survive — direct safe-region corruption (the "what if CPI's
+// secrecy/isolation assumption breaks" question of §3.2.3), allocation
+// failure in the runtime's own data structures, and adversarial preemption
+// points. The contract under any plan is *graceful containment*: the run
+// must terminate with a reported RunResult (ok, violation, crash or
+// out-of-fuel) — never crash the host process.
+//
+// Events fire at the first dispatch boundary at or after `at_instruction`.
+// On the fused tier a superinstruction charges its constituents in one
+// batch, so the boundary can land up to two constituents later than on the
+// decoded tier — firing points are exact per engine, reproducible across
+// runs, but not guaranteed identical across engines.
+#ifndef CPI_SRC_VM_FAULT_H_
+#define CPI_SRC_VM_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cpi::vm {
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  // XOR a byte of the current thread's live safe-stack frame data (ret
+  // tokens, safe allocas). Models an attacker who broke the isolation
+  // mechanism and writes the safe region directly.
+  kCorruptSafeStack,
+  // Flip bits in the value of a live safe-pointer-store entry. Models
+  // corruption of the metadata region itself (CPI's secrecy assumption).
+  kCorruptSafeStore,
+  // The next growth allocation inside the safe pointer store (page, table
+  // or rehash) fails with a simulated OOM.
+  kOomSafeStore,
+  // Collapse the current thread's heap arena: the next fresh malloc reports
+  // out-of-memory.
+  kOomHeapArena,
+  // The next regular-region page materialisation fails with a simulated
+  // OOM (ByteMemory allocation failure).
+  kOomPageAlloc,
+  // Force a context switch at an adversarial point (ignores the quantum).
+  kForcePreempt,
+};
+
+inline constexpr int kNumFaultKinds = 7;  // including kNone
+
+inline const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kCorruptSafeStack:
+      return "corrupt-safe-stack";
+    case FaultKind::kCorruptSafeStore:
+      return "corrupt-safe-store";
+    case FaultKind::kOomSafeStore:
+      return "oom-safe-store";
+    case FaultKind::kOomHeapArena:
+      return "oom-heap-arena";
+    case FaultKind::kOomPageAlloc:
+      return "oom-page-alloc";
+    case FaultKind::kForcePreempt:
+      return "force-preempt";
+  }
+  return "?";
+}
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNone;
+  // Fires at the first dispatch boundary where the executed-instruction
+  // counter is >= this value.
+  uint64_t at_instruction = 0;
+  // Kind-specific payload: byte offset for kCorruptSafeStack, entry index
+  // for kCorruptSafeStore, countdown seed for the OOM kinds. The low bits
+  // also derive the XOR mask for the corruption kinds (never zero).
+  uint64_t arg = 0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+};
+
+}  // namespace cpi::vm
+
+#endif  // CPI_SRC_VM_FAULT_H_

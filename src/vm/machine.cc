@@ -1,7 +1,9 @@
 #include "src/vm/machine.h"
 
+#include <algorithm>
 #include <cstring>
 #include <map>
+#include <new>
 #include <unordered_map>
 
 #include "src/runtime/seal.h"
@@ -141,6 +143,19 @@ class Machine {
 
   // --- setup ---------------------------------------------------------------
   void LoadProgram();
+  // Run()'s body up to (but excluding) the result aggregation, so the
+  // std::bad_alloc containment in Run() covers load + every engine loop
+  // while aggregation still happens for contained-OOM runs.
+  void RunToCompletion();
+
+  // --- fault injection -----------------------------------------------------
+  // Armed from RunOptions::faults. The loops compare the instruction counter
+  // against fault_at_ (UINT64_MAX when no event is pending), so a run
+  // without a plan pays one never-taken branch per dispatch and nothing
+  // else. Fault actions charge no simulated cycles: they model an external
+  // adversary / failing host, not program work.
+  __attribute__((noinline, cold)) void ApplyPendingFaults();
+  void InjectFault(const FaultEvent& e);
 
   // --- trap handling -------------------------------------------------------
   // Traps fire at most once per run; keeping them out of line keeps the
@@ -552,6 +567,12 @@ class Machine {
   uint64_t cookie_value_ = 0;
   size_t input_word_pos_ = 0;
   size_t input_byte_pos_ = 0;
+
+  // Fault plan, sorted by firing point; next_fault_ indexes the next unfired
+  // event and fault_at_ caches its firing instruction count.
+  std::vector<FaultEvent> fault_events_;
+  size_t next_fault_ = 0;
+  uint64_t fault_at_ = ~0ULL;
 };
 
 // ---------------------------------------------------------------------------
@@ -864,7 +885,41 @@ void Machine::ReturnToCaller(uint64_t value, const RegMeta& meta) {
 // Main loop
 
 RunResult Machine::Run() {
+  try {
+    RunToCompletion();
+  } catch (const std::bad_alloc& e) {
+    // Allocation failure inside the simulated runtime — injected via a
+    // FaultPlan or genuinely hit on the same paths — is contained as a
+    // crashed *run*; the host process (and a fuzzing campaign) carries on.
+    Trap(RunStatus::kCrash, Violation::kNone, std::string("out of memory: ") + e.what());
+  }
+  if (decoded_ != nullptr && !decoded_->patterns().empty()) {
+    AccumulateFusionHits(decoded_->patterns(), fuse_hits_);
+  }
+
+  // Per-thread caches and safe stacks aggregate into the run totals; the
+  // sums are order-independent, so they stay deterministic at any quantum.
+  for (const auto& t : threads_) {
+    result_.counters.cache_hits += t->cache.hits();
+    result_.counters.cache_misses += t->cache.misses();
+    result_.memory.safe_stack_bytes += t->safe_stack.mapped_bytes();
+  }
+  result_.memory.regular_bytes = regular_.mapped_bytes();
+  result_.memory.safe_store_bytes = store_ != nullptr ? store_->MemoryBytes() : 0;
+  result_.memory.safe_store_entries = store_ != nullptr ? store_->EntryCount() : 0;
+  return result_;
+}
+
+void Machine::RunToCompletion() {
   LoadProgram();
+  if (options_.faults != nullptr && !options_.faults->events.empty()) {
+    fault_events_ = options_.faults->events;
+    std::stable_sort(fault_events_.begin(), fault_events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.at_instruction < b.at_instruction;
+                     });
+    fault_at_ = fault_events_.front().at_instruction;
+  }
   if (options_.engine != EngineKind::kReference) {
     // One-time translation to the flat micro-op form — plus the fusion pass
     // on the fused tier — cached for the whole run (the decoded module
@@ -887,6 +942,9 @@ RunResult Machine::Run() {
           Trap(RunStatus::kOutOfFuel, Violation::kNone, "step budget exhausted");
           break;
         }
+        if (result_.counters.instructions >= fault_at_) {
+          ApplyPendingFaults();
+        }
         Step();
         if ((resched_ || --quantum_left_ == 0) && !done_) {
           Reschedule();
@@ -900,21 +958,68 @@ RunResult Machine::Run() {
       RunFusedLoop();
       break;
   }
-  if (decoded_ != nullptr && !decoded_->patterns().empty()) {
-    AccumulateFusionHits(decoded_->patterns(), fuse_hits_);
-  }
+}
 
-  // Per-thread caches and safe stacks aggregate into the run totals; the
-  // sums are order-independent, so they stay deterministic at any quantum.
-  for (const auto& t : threads_) {
-    result_.counters.cache_hits += t->cache.hits();
-    result_.counters.cache_misses += t->cache.misses();
-    result_.memory.safe_stack_bytes += t->safe_stack.mapped_bytes();
+void Machine::ApplyPendingFaults() {
+  const uint64_t now = result_.counters.instructions;
+  while (next_fault_ < fault_events_.size() &&
+         fault_events_[next_fault_].at_instruction <= now) {
+    InjectFault(fault_events_[next_fault_++]);
   }
-  result_.memory.regular_bytes = regular_.mapped_bytes();
-  result_.memory.safe_store_bytes = store_ != nullptr ? store_->MemoryBytes() : 0;
-  result_.memory.safe_store_entries = store_ != nullptr ? store_->EntryCount() : 0;
-  return result_;
+  fault_at_ = next_fault_ < fault_events_.size()
+                  ? fault_events_[next_fault_].at_instruction
+                  : ~0ULL;
+}
+
+void Machine::InjectFault(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kCorruptSafeStack: {
+      // Flip a byte of the current thread's live safe-stack data (the region
+      // just above safe_sp: ret tokens, safe allocas, cookies). When the
+      // scheme maps no safe stack the probe lands on unmapped memory and is
+      // a no-op — exactly the §3.2.3 "guessing under information hiding"
+      // situation.
+      const uint64_t addr = cur_->safe_sp + e.arg % 64;
+      uint8_t mask = static_cast<uint8_t>(e.arg >> 8);
+      if (mask == 0) {
+        mask = 0x80;
+      }
+      uint8_t byte = 0;
+      if (cur_->safe_stack.ReadByte(addr, &byte) != MemFault::kNone) {
+        return;
+      }
+      if (cur_->safe_stack.WriteByte(addr, byte ^ mask) != MemFault::kNone) {
+        return;
+      }
+      break;
+    }
+    case FaultKind::kCorruptSafeStore: {
+      if (store_ == nullptr || !store_->CorruptEntry(e.arg, (e.arg >> 8) | 1)) {
+        return;
+      }
+      break;
+    }
+    case FaultKind::kOomSafeStore:
+      if (store_ == nullptr) {
+        return;
+      }
+      store_->InjectAllocFailure(e.arg % 4);
+      break;
+    case FaultKind::kOomHeapArena:
+      // Collapse the current thread's arena: the next malloc that cannot be
+      // served from a free list reports out-of-memory.
+      cur_->heap_limit = cur_->heap_next;
+      break;
+    case FaultKind::kOomPageAlloc:
+      regular_.ArmAllocFailure(e.arg % 4);
+      break;
+    case FaultKind::kForcePreempt:
+      resched_ = true;
+      break;
+  }
+  ++result_.faults_injected;
 }
 
 void Machine::Reschedule() {
@@ -2437,6 +2542,9 @@ void Machine::RunDecodedLoop() {
       Trap(RunStatus::kOutOfFuel, Violation::kNone, "step budget exhausted");
       break;
     }
+    if (result_.counters.instructions >= fault_at_) {
+      ApplyPendingFaults();
+    }
     Frame& f = cur_->frames.back();
     // Same malformed-IR guard as the reference Step(): a block missing its
     // terminator must abort loudly, not fall through into the next block's
@@ -2461,6 +2569,9 @@ void Machine::RunFusedLoop() {
     if (result_.counters.instructions >= options_.max_steps) {
       Trap(RunStatus::kOutOfFuel, Violation::kNone, "step budget exhausted");
       break;
+    }
+    if (result_.counters.instructions >= fault_at_) {
+      ApplyPendingFaults();
     }
     Frame& f = cur_->frames.back();
     CPI_CHECK(f.ip < f.dfunc->ops.size());

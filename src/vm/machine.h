@@ -27,6 +27,7 @@
 #include "src/runtime/temporal.h"
 #include "src/runtime/violation.h"
 #include "src/vm/cache.h"
+#include "src/vm/fault.h"
 #include "src/vm/memory.h"
 
 namespace cpi::vm {
@@ -95,6 +96,10 @@ struct RunOptions {
   std::vector<uint64_t> input_words;
   std::vector<uint8_t> input_bytes;
   CacheModel::Config cache;
+  // Optional adversarial fault plan (see src/vm/fault.h). Null — the normal
+  // case — takes zero dispatch-loop cost; the historical tables depend on
+  // that. The plan outlives the run; the machine does not copy it.
+  const FaultPlan* faults = nullptr;
 };
 
 struct Counters {
@@ -128,6 +133,9 @@ struct RunResult {
   std::vector<uint64_t> output;
   Counters counters;
   MemoryFootprint memory;
+  // How many FaultPlan events actually fired during the run (0 without a
+  // plan). The fuzz harness uses this for fault-coverage accounting.
+  uint64_t faults_injected = 0;
 
   bool OutputContains(uint64_t marker) const {
     for (uint64_t v : output) {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/support/oom.h"
+
 namespace cpi::vm {
 
 void ByteMemory::MapRange(uint64_t start, uint64_t size, bool writable) {
@@ -44,6 +46,13 @@ ByteMemory::Page* ByteMemory::FindPageSlow(uint64_t id) {
 }
 
 uint8_t* ByteMemory::MaterializePage(Page& page) {
+  if (alloc_failure_countdown_ != kAllocFailureDisarmed) {
+    if (alloc_failure_countdown_ == 0) {
+      alloc_failure_countdown_ = kAllocFailureDisarmed;
+      throw SimulatedOom("page materialisation failed");
+    }
+    --alloc_failure_countdown_;
+  }
   page.bytes = std::make_unique<uint8_t[]>(kPageBytes);
   std::memset(page.bytes.get(), 0, kPageBytes);
   return page.bytes.get();

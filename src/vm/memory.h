@@ -82,6 +82,12 @@ class ByteMemory {
 
   uint64_t mapped_bytes() const { return pages_.size() * kPageBytes; }
 
+  // Fault injection (vm::FaultPlan, kOomPageAlloc): after `countdown` more
+  // page materialisations succeed, the next one throws SimulatedOom. The VM
+  // catches it and reports the run as crashed; the harness asserts the host
+  // survives. One-shot: the failure disarms itself after firing.
+  void ArmAllocFailure(uint64_t countdown) { alloc_failure_countdown_ = countdown; }
+
  private:
   struct Page {
     std::unique_ptr<uint8_t[]> bytes;
@@ -115,6 +121,9 @@ class ByteMemory {
   }
 
   std::unordered_map<uint64_t, Page> pages_;
+  // Armed by ArmAllocFailure; kDisarmed means allocations always succeed.
+  static constexpr uint64_t kAllocFailureDisarmed = ~0ULL;
+  uint64_t alloc_failure_countdown_ = kAllocFailureDisarmed;
   // One-entry translation cache: program accesses hit the same page in
   // bursts, so most lookups skip the hash table. Pointers into pages_ are
   // stable across inserts (node-based container); the cache is invalidated

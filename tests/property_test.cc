@@ -1,185 +1,34 @@
-// Property tests built on a random-program generator: for any benign program
-// the generator can produce, every protection configuration must preserve
-// observable behaviour exactly (same outputs, same exit code). This is the
-// compiler-level soundness property behind the paper's "works on unmodified
-// programs / FreeBSD + 100 packages keep working" claim.
+// Property tests built on the shared random-program generator
+// (src/fuzz/generator.h): for any benign program the generator can produce,
+// every protection configuration must preserve observable behaviour exactly
+// (same outputs, same exit code). This is the compiler-level soundness
+// property behind the paper's "works on unmodified programs / FreeBSD + 100
+// packages keep working" claim. The full configuration matrix — engines,
+// opt levels, quanta, fault injection, hazardous programs — is exercised by
+// the differential harness (tests/fuzz_harness_test.cc and bench/fuzz).
 #include <gtest/gtest.h>
 
 #include "src/core/levee.h"
-#include "src/ir/builder.h"
+#include "src/fuzz/generator.h"
 #include "src/ir/verifier.h"
-#include "src/support/rng.h"
 #include "src/workloads/workloads.h"
 
 namespace cpi {
 namespace {
 
-using ir::BinOp;
-using ir::Function;
-using ir::IRBuilder;
-using ir::Module;
-using ir::StructType;
-using ir::Value;
-
-// Generates a random but well-defined program: integer/float arithmetic over
-// a pool of locals and globals, function-pointer tables with indirect calls,
-// heap cells holding data and code pointers through void*, string buffers,
-// and bounded loops. No undefined behaviour: indices are masked, divisors
-// are forced nonzero.
-class ProgramGenerator {
- public:
-  explicit ProgramGenerator(uint64_t seed) : rng_(seed) {}
-
-  std::unique_ptr<Module> Generate() {
-    auto m = std::make_unique<Module>("fuzz");
-    auto& t = m->types();
-    IRBuilder b(m.get());
-
-    const auto* fn_ty = t.FunctionTy(t.I64(), {t.I64()});
-    ir::GlobalVariable* table = m->CreateGlobal("table", t.ArrayOf(t.PointerTo(fn_ty), 4));
-    ir::GlobalVariable* acc = m->CreateGlobal("acc", t.I64());
-
-    StructType* box = t.GetOrCreateStruct("box");
-    box->SetBody({{"fp", t.PointerTo(fn_ty), 0},
-                  {"data", t.I64(), 0},
-                  {"any", t.VoidPtrTy(), 0}});
-
-    // A few simple leaf callees.
-    std::vector<Function*> leaves;
-    for (int k = 0; k < 4; ++k) {
-      Function* fn = m->CreateFunction("leaf" + std::to_string(k), fn_ty);
-      b.SetInsertPoint(fn->CreateBlock("entry"));
-      Value* x = fn->arg(0);
-      Value* g = b.Load(b.GlobalAddr(acc));
-      Value* r;
-      switch (k) {
-        case 0: r = b.Add(x, g); break;
-        case 1: r = b.Xor(b.Mul(x, b.I64(3)), g); break;
-        case 2: r = b.Sub(g, x); break;
-        default: r = b.Binary(BinOp::kOr, x, b.I64(0x55)); break;
-      }
-      b.Store(r, b.GlobalAddr(acc));
-      b.Ret(r);
-      leaves.push_back(fn);
-    }
-
-    Function* main = m->CreateFunction("main", t.FunctionTy(t.I64(), {}));
-    b.SetInsertPoint(main->CreateBlock("entry"));
-
-    // Locals pool.
-    std::vector<Value*> int_slots;
-    for (int i = 0; i < 4; ++i) {
-      Value* s = b.Alloca(t.I64(), "l" + std::to_string(i));
-      b.Store(b.I64(rng_.NextBelow(1000)), s);
-      int_slots.push_back(s);
-    }
-    // Init the function-pointer table.
-    for (int i = 0; i < 4; ++i) {
-      b.Store(b.FuncAddr(leaves[rng_.NextBelow(4)]),
-              b.IndexAddr(b.GlobalAddr(table), b.I64(static_cast<uint64_t>(i))));
-    }
-    // A heap box whose void* slot alternates between code and data pointers.
-    Value* the_box = b.Malloc(b.I64(box->SizeInBytes()), t.PointerTo(box));
-    b.Store(b.FuncAddr(leaves[0]), b.FieldAddr(the_box, "fp"));
-    b.Store(b.I64(7), b.FieldAddr(the_box, "data"));
-    Value* cell = b.Malloc(b.I64(8), t.PointerTo(t.I64()));
-    b.Store(b.I64(11), cell);
-    b.Store(b.Bitcast(cell, t.VoidPtrTy()), b.FieldAddr(the_box, "any"));
-
-    const int num_ops = 12 + static_cast<int>(rng_.NextBelow(20));
-    for (int op = 0; op < num_ops; ++op) {
-      Value* a = b.Load(int_slots[rng_.NextBelow(int_slots.size())]);
-      Value* c = b.Load(int_slots[rng_.NextBelow(int_slots.size())]);
-      switch (rng_.NextBelow(8)) {
-        case 0: {  // arithmetic
-          static const BinOp kOps[] = {BinOp::kAdd, BinOp::kSub, BinOp::kMul, BinOp::kAnd,
-                                       BinOp::kOr, BinOp::kXor, BinOp::kShl};
-          Value* r = b.Binary(kOps[rng_.NextBelow(7)], a,
-                              b.Binary(BinOp::kAnd, c, b.I64(63)));
-          b.Store(r, int_slots[rng_.NextBelow(int_slots.size())]);
-          break;
-        }
-        case 1: {  // guarded division
-          Value* divisor = b.Binary(BinOp::kOr, c, b.I64(1));
-          b.Store(b.Binary(BinOp::kUDiv, a, divisor),
-                  int_slots[rng_.NextBelow(int_slots.size())]);
-          break;
-        }
-        case 2: {  // indirect call through the table
-          Value* idx = b.Binary(BinOp::kAnd, a, b.I64(3));
-          Value* fp = b.Load(b.IndexAddr(b.GlobalAddr(table), idx));
-          Value* r = b.IndirectCall(fp, {c});
-          b.Store(r, int_slots[rng_.NextBelow(int_slots.size())]);
-          break;
-        }
-        case 3: {  // rotate the table (code-pointer stores)
-          Value* idx = b.Binary(BinOp::kAnd, a, b.I64(3));
-          Value* jdx = b.Binary(BinOp::kAnd, c, b.I64(3));
-          Value* fi = b.Load(b.IndexAddr(b.GlobalAddr(table), idx));
-          b.Store(fi, b.IndexAddr(b.GlobalAddr(table), jdx));
-          break;
-        }
-        case 4: {  // box traffic: call through box->fp, mutate data
-          Value* fp = b.Load(b.FieldAddr(the_box, "fp"));
-          Value* r = b.IndirectCall(fp, {a});
-          b.Store(b.Add(r, b.Load(b.FieldAddr(the_box, "data"))),
-                  b.FieldAddr(the_box, "data"));
-          break;
-        }
-        case 5: {  // universal-pointer round trip
-          Value* any = b.Load(b.FieldAddr(the_box, "any"));
-          Value* as_int = b.Bitcast(any, t.PointerTo(t.I64()));
-          b.Store(b.Add(b.Load(as_int), b.I64(1)), as_int);
-          break;
-        }
-        case 6: {  // bounded loop accumulating into a global
-          Value* n = b.Binary(BinOp::kAnd, a, b.I64(15));
-          Value* i_slot = b.Alloca(t.I64(), "fi");
-          b.Store(b.I64(0), i_slot);
-          ir::BasicBlock* header = main->CreateBlock("f.h" + std::to_string(op));
-          ir::BasicBlock* body = main->CreateBlock("f.b" + std::to_string(op));
-          ir::BasicBlock* exit = main->CreateBlock("f.e" + std::to_string(op));
-          b.Br(header);
-          b.SetInsertPoint(header);
-          Value* i = b.Load(i_slot);
-          b.CondBr(b.ICmpSLt(i, n), body, exit);
-          b.SetInsertPoint(body);
-          Value* g = b.Load(b.GlobalAddr(acc));
-          b.Store(b.Add(g, b.Load(i_slot)), b.GlobalAddr(acc));
-          b.Store(b.Add(b.Load(i_slot), b.I64(1)), i_slot);
-          b.Br(header);
-          b.SetInsertPoint(exit);
-          break;
-        }
-        default: {  // conditional select
-          Value* r = b.Select(b.ICmpSLt(a, c), b.Add(a, b.I64(1)), b.Sub(c, b.I64(1)));
-          b.Store(r, int_slots[rng_.NextBelow(int_slots.size())]);
-          break;
-        }
-      }
-    }
-
-    // Observable state: all locals, the global, the box fields.
-    for (Value* s : int_slots) {
-      b.Output(b.Load(s));
-    }
-    b.Output(b.Load(b.GlobalAddr(acc)));
-    b.Output(b.Load(b.FieldAddr(the_box, "data")));
-    Value* any = b.Load(b.FieldAddr(the_box, "any"));
-    b.Output(b.Load(b.Bitcast(any, t.PointerTo(t.I64()))));
-    b.Ret(b.I64(0));
-    return m;
-  }
-
- private:
-  Rng rng_;
-};
+// Benign plans only: behaviour must be scheme-independent, so the hazard ops
+// (use-after-free, double free) stay out of this suite.
+fuzz::Plan BenignPlan(uint64_t seed) {
+  fuzz::GenOptions options;
+  options.hazards = false;
+  return fuzz::MakePlan(seed, options);
+}
 
 class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DifferentialTest, AllProtectionsPreserveBehaviour) {
-  const uint64_t seed = GetParam();
-  auto baseline_module = ProgramGenerator(seed).Generate();
+  const fuzz::Plan plan = BenignPlan(GetParam());
+  auto baseline_module = fuzz::Materialize(plan);
   ASSERT_TRUE(ir::IsValid(*baseline_module));
   core::Config vanilla;
   auto base = core::InstrumentAndRun(*baseline_module, vanilla);
@@ -195,7 +44,7 @@ TEST_P(DifferentialTest, AllProtectionsPreserveBehaviour) {
       core::Config config;
       config.protection = p;
       config.store = store;
-      auto module = ProgramGenerator(seed).Generate();
+      auto module = fuzz::Materialize(plan);
       auto r = core::InstrumentAndRun(*module, config);
       ASSERT_EQ(r.status, vm::RunStatus::kOk)
           << core::ProtectionName(p) << "/" << runtime::StoreKindName(store) << ": "
@@ -208,8 +57,8 @@ TEST_P(DifferentialTest, AllProtectionsPreserveBehaviour) {
 }
 
 TEST_P(DifferentialTest, DebugAndTemporalModesPreserveBenignBehaviour) {
-  const uint64_t seed = GetParam();
-  auto baseline_module = ProgramGenerator(seed).Generate();
+  const fuzz::Plan plan = BenignPlan(GetParam());
+  auto baseline_module = fuzz::Materialize(plan);
   core::Config vanilla;
   auto base = core::InstrumentAndRun(*baseline_module, vanilla);
   ASSERT_EQ(base.status, vm::RunStatus::kOk);
@@ -220,7 +69,7 @@ TEST_P(DifferentialTest, DebugAndTemporalModesPreserveBenignBehaviour) {
       config.protection = core::Protection::kCpi;
       config.debug_mode = debug;
       config.temporal = temporal;
-      auto module = ProgramGenerator(seed).Generate();
+      auto module = fuzz::Materialize(plan);
       auto r = core::InstrumentAndRun(*module, config);
       ASSERT_EQ(r.status, vm::RunStatus::kOk)
           << "debug=" << debug << " temporal=" << temporal << ": " << r.message;
