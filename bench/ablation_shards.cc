@@ -1,0 +1,122 @@
+// Ablation: safe-region sharding under contended multi-threaded servers.
+//
+// The concurrent cost model charges an access the OpCosts::sync premium
+// exactly when the key's shard is not owned by the accessing thread
+// (src/vm/machine.h). At one shard everything is shared — every concurrent
+// access pays, the historical flat model. As the shard count grows, each
+// thread's static home regions hash into shards of their own and the
+// premium decays toward the workload's true cross-thread share (worker
+// threads reading the spawner-owned handler table, producer/consumer
+// hand-offs). Expected shape: overhead and contended-op share fall
+// monotonically with the shard count and flatten once every home has a
+// private shard.
+//
+// Harness shape: each workload is frontend-built once; the vanilla baseline
+// and every shard-count configuration instrument their own clone, and all
+// cells run across the --jobs pool. The sweep also cross-checks behaviour
+// invariance: safe-store op counts must be identical at every shard count.
+#include <cstdio>
+
+#include "bench/flags.h"
+#include "src/support/stats.h"
+#include "src/support/table.h"
+#include "src/workloads/measure.h"
+
+int main(int argc, char** argv) {
+  const cpi::bench::Flags flags = cpi::bench::Parse(argc, argv);
+
+  std::printf("Ablation — safe-region shard count under CPI (concurrent servers)\n\n");
+
+  using cpi::core::Protection;
+  using cpi::workloads::CellResult;
+  using cpi::workloads::MeasureCell;
+
+  const std::vector<uint32_t> shard_counts = {1, 2, 4, 8, 16, 64};
+
+  // The event-loop server is the driving workload; the table4_concurrent
+  // scenarios ride along for breadth.
+  std::vector<cpi::workloads::Workload> workloads = cpi::workloads::EventLoop();
+  for (const auto& w : cpi::workloads::ConcurrentServer()) {
+    workloads.push_back(w);
+  }
+  const auto built = cpi::workloads::BuildWorkloads(workloads, flags.scale, flags.jobs);
+  const auto views = cpi::workloads::ModuleViews(built);
+
+  // Per workload: vanilla baseline, then CPI at each shard count.
+  std::vector<MeasureCell> cells;
+  const size_t stride = 1 + shard_counts.size();
+  cells.reserve(workloads.size() * stride);
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    MeasureCell vanilla;
+    vanilla.workload = wi;
+    vanilla.config = cpi::bench::BaseConfig(flags);
+    cells.push_back(vanilla);
+    for (uint32_t shards : shard_counts) {
+      MeasureCell cell;
+      cell.workload = wi;
+      cell.config = cpi::bench::BaseConfig(flags);
+      cell.config.protection = Protection::kCpi;
+      cell.config.shards = shards;
+      cells.push_back(cell);
+    }
+  }
+  const std::vector<CellResult> results =
+      cpi::workloads::RunCells(workloads, views, cells, flags.jobs);
+
+  std::vector<std::string> header = {"Benchmark"};
+  for (uint32_t shards : shard_counts) {
+    header.push_back("S=" + std::to_string(shards));
+  }
+  cpi::Table overhead_table(header);
+  cpi::Table contended_table(header);
+  std::vector<std::vector<double>> overhead_cols(shard_counts.size());
+  std::vector<std::vector<double>> contended_cols(shard_counts.size());
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const CellResult& base = results[wi * stride];
+    CPI_CHECK(base.status == cpi::vm::RunStatus::kOk);
+    const double base_cycles = static_cast<double>(base.cycles);
+
+    std::vector<std::string> overhead_row = {workloads[wi].name};
+    std::vector<std::string> contended_row = {workloads[wi].name};
+    for (size_t si = 0; si < shard_counts.size(); ++si) {
+      const CellResult& r = results[wi * stride + 1 + si];
+      CPI_CHECK(r.status == cpi::vm::RunStatus::kOk);
+      // Sharding only re-prices accesses; it must never change behaviour.
+      CPI_CHECK(r.safe_store_ops == results[wi * stride + 1].safe_store_ops);
+      const double overhead =
+          cpi::OverheadPercent(static_cast<double>(r.cycles), base_cycles);
+      const double contended =
+          r.safe_store_ops == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(r.store_contended_ops) /
+                    static_cast<double>(r.safe_store_ops);
+      overhead_cols[si].push_back(overhead);
+      contended_cols[si].push_back(contended);
+      overhead_row.push_back(cpi::Table::FormatPercent(overhead));
+      contended_row.push_back(cpi::Table::FormatPercent(contended));
+    }
+    overhead_table.AddRow(overhead_row);
+    contended_table.AddRow(contended_row);
+  }
+  const auto add_average = [&](cpi::Table& table,
+                               const std::vector<std::vector<double>>& cols) {
+    table.AddSeparator();
+    std::vector<std::string> avg = {"Average"};
+    for (const auto& col : cols) {
+      avg.push_back(cpi::Table::FormatPercent(cpi::Mean(col)));
+    }
+    table.AddRow(avg);
+  };
+  add_average(overhead_table, overhead_cols);
+  add_average(contended_table, contended_cols);
+
+  std::printf("CPI overhead vs vanilla at each shard count:\n\n");
+  overhead_table.Print();
+  std::printf("\nShare of safe-store ops paying the shard-crossing premium:\n\n");
+  contended_table.Print();
+
+  std::printf("\nS=1 is the historical flat model (every concurrent access pays the\n"
+              "sync premium); the floor at high shard counts is the workload's true\n"
+              "cross-thread share of safe-store traffic.\n");
+  return 0;
+}

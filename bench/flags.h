@@ -13,6 +13,10 @@
 //   --engine E   VM execution tier: fused (default), decoded, reference.
 //                Simulated counters — and therefore every table — are
 //                bit-identical across tiers; only wall-clock changes.
+//   --shards N   safe-pointer-store shard count (default 1 — the legacy
+//                shared store every historical table is recorded at).
+//                Behaviour is shard-count-invariant; cycles model per-shard
+//                contention (see bench/ablation_shards).
 #ifndef CPI_BENCH_FLAGS_H_
 #define CPI_BENCH_FLAGS_H_
 
@@ -32,6 +36,7 @@ struct Flags {
   int jobs = 0;  // resolved to ThreadPool::DefaultJobs() by Parse
   int opt = 0;   // core::Config::opt_level for the measured cells
   vm::EngineKind engine = vm::EngineKind::kFused;  // core::Config::engine
+  uint32_t shards = 1;  // core::Config::shards for the measured cells
 };
 
 // The Config every measured cell starts from under these flags.
@@ -39,13 +44,14 @@ inline core::Config BaseConfig(const Flags& flags) {
   core::Config config;
   config.opt_level = flags.opt;
   config.engine = flags.engine;
+  config.shards = flags.shards;
   return config;
 }
 
 inline void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--json] [--time] [--scale N|small] [--jobs N] [--opt N] "
-               "[--engine fused|decoded|reference]\n",
+               "[--engine fused|decoded|reference] [--shards N]\n",
                argv0);
 }
 
@@ -73,6 +79,14 @@ inline Flags Parse(int argc, char** argv) {
       if (flags.opt < 0) {
         std::fprintf(stderr, "invalid --opt; using 0\n");
         flags.opt = 0;
+      }
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 1) {
+        std::fprintf(stderr, "invalid --shards; using 1\n");
+        flags.shards = 1;
+      } else {
+        flags.shards = static_cast<uint32_t>(n);
       }
     } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       ++i;

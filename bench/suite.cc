@@ -108,6 +108,14 @@ struct AblationOpt {
   std::map<Protection, std::vector<std::pair<double, double>>> overhead_pct;
 };
 
+struct AblationShards {
+  std::vector<uint32_t> shard_counts;
+  std::vector<std::string> workloads;
+  // [workload][shard-count] CPI overhead vs vanilla / contended-op share.
+  std::vector<std::vector<double>> overhead_pct;
+  std::vector<std::vector<double>> contended_pct;
+};
+
 // ---------------------------------------------------------------------------
 // JSON emission. Percents use %.3f like the standalone binaries.
 
@@ -374,15 +382,79 @@ int main(int argc, char** argv) {
   // the producer/consumer pair. Deterministic at any --jobs value and any
   // scheduler quantum — the differential tests enforce both.
   Stopwatch table4c_watch;
+  const auto& mt_workloads = cpi::workloads::ConcurrentServer();
+  const auto mt_built =
+      cpi::workloads::BuildWorkloads(mt_workloads, flags.scale, flags.jobs);
+  const auto mt_views = cpi::workloads::ModuleViews(mt_built);
   const auto mt_ms = cpi::workloads::MeasureWorkloads(
-      cpi::workloads::ConcurrentServer(), overhead_protections, flags.scale,
-      engine_base, flags.jobs);
+      mt_workloads, mt_views, overhead_protections, engine_base, flags.jobs);
   OverheadTable table4_concurrent;
   table4_concurrent.columns = overhead_protections;
   for (const auto& m : mt_ms) {
     table4_concurrent.rows.push_back(&m);
   }
   table_wall_ms["table4_concurrent"] = table4c_watch.Ms();
+
+  // -------------------------------------------------------------------------
+  // ablation_shards: the safe-region shard sweep over the event-loop server
+  // plus the concurrent scenarios (the ConcurrentServer builds are shared
+  // with Table 4). S=1 is the historical flat contention model; the sweep
+  // cross-checks that sharding only re-prices accesses (identical
+  // safe-store op counts at every shard count).
+  Stopwatch shards_watch;
+  const std::vector<uint32_t> shard_counts = {1, 2, 4, 8, 16, 64};
+  const auto& ev_workloads = cpi::workloads::EventLoop();
+  const auto ev_built =
+      cpi::workloads::BuildWorkloads(ev_workloads, flags.scale, flags.jobs);
+  std::vector<Workload> shard_workloads = ev_workloads;
+  std::vector<const cpi::ir::Module*> shard_views =
+      cpi::workloads::ModuleViews(ev_built);
+  for (size_t wi = 0; wi < mt_workloads.size(); ++wi) {
+    shard_workloads.push_back(mt_workloads[wi]);
+    shard_views.push_back(mt_views[wi]);
+  }
+  std::vector<MeasureCell> shard_cells;
+  const size_t shard_stride = 1 + shard_counts.size();
+  for (size_t wi = 0; wi < shard_workloads.size(); ++wi) {
+    MeasureCell vanilla;
+    vanilla.workload = wi;
+    vanilla.config = engine_base;
+    shard_cells.push_back(vanilla);
+    for (uint32_t shards : shard_counts) {
+      MeasureCell cell;
+      cell.workload = wi;
+      cell.config = engine_base;
+      cell.config.protection = Protection::kCpi;
+      cell.config.shards = shards;
+      shard_cells.push_back(cell);
+    }
+  }
+  const auto shard_results =
+      cpi::workloads::RunCells(shard_workloads, shard_views, shard_cells, flags.jobs);
+
+  AblationShards shard_ablation;
+  shard_ablation.shard_counts = shard_counts;
+  for (size_t wi = 0; wi < shard_workloads.size(); ++wi) {
+    const CellResult& base = shard_results[wi * shard_stride];
+    CPI_CHECK(base.status == cpi::vm::RunStatus::kOk);
+    shard_ablation.workloads.push_back(shard_workloads[wi].name);
+    std::vector<double> overheads;
+    std::vector<double> contended;
+    for (size_t si = 0; si < shard_counts.size(); ++si) {
+      const CellResult& r = shard_results[wi * shard_stride + 1 + si];
+      CPI_CHECK(r.status == cpi::vm::RunStatus::kOk);
+      CPI_CHECK(r.safe_store_ops == shard_results[wi * shard_stride + 1].safe_store_ops);
+      overheads.push_back(cpi::OverheadPercent(static_cast<double>(r.cycles),
+                                               static_cast<double>(base.cycles)));
+      contended.push_back(r.safe_store_ops == 0
+                              ? 0.0
+                              : 100.0 * static_cast<double>(r.store_contended_ops) /
+                                    static_cast<double>(r.safe_store_ops));
+    }
+    shard_ablation.overhead_pct.push_back(std::move(overheads));
+    shard_ablation.contended_pct.push_back(std::move(contended));
+  }
+  table_wall_ms["ablation_shards"] = shards_watch.Ms();
 
   // -------------------------------------------------------------------------
   // §5.1 RIPE matrix (one row per registry RipeRow) and Fig. 5 (defense
@@ -735,6 +807,47 @@ int main(int argc, char** argv) {
     }
     std::printf("]}");
 
+    std::printf(",\"ablation_shards\":{\"shard_counts\":[");
+    for (size_t si = 0; si < shard_ablation.shard_counts.size(); ++si) {
+      std::printf("%s%u", si == 0 ? "" : ",", shard_ablation.shard_counts[si]);
+    }
+    std::printf("],\"rows\":[");
+    for (size_t wi = 0; wi < shard_ablation.workloads.size(); ++wi) {
+      std::printf("%s{\"workload\":\"%s\",\"overhead_pct\":{", wi == 0 ? "" : ",",
+                  shard_ablation.workloads[wi].c_str());
+      for (size_t si = 0; si < shard_ablation.shard_counts.size(); ++si) {
+        std::printf("%s\"%u\":%.3f", si == 0 ? "" : ",",
+                    shard_ablation.shard_counts[si],
+                    shard_ablation.overhead_pct[wi][si]);
+      }
+      std::printf("},\"contended_pct\":{");
+      for (size_t si = 0; si < shard_ablation.shard_counts.size(); ++si) {
+        std::printf("%s\"%u\":%.3f", si == 0 ? "" : ",",
+                    shard_ablation.shard_counts[si],
+                    shard_ablation.contended_pct[wi][si]);
+      }
+      std::printf("}}");
+    }
+    std::printf("],\"average\":{\"overhead_pct\":{");
+    const auto shard_column_mean = [&shard_ablation](
+        const std::vector<std::vector<double>>& rows, size_t si) {
+      std::vector<double> col;
+      for (size_t wi = 0; wi < shard_ablation.workloads.size(); ++wi) {
+        col.push_back(rows[wi][si]);
+      }
+      return cpi::Mean(col);
+    };
+    for (size_t si = 0; si < shard_ablation.shard_counts.size(); ++si) {
+      std::printf("%s\"%u\":%.3f", si == 0 ? "" : ",", shard_ablation.shard_counts[si],
+                  shard_column_mean(shard_ablation.overhead_pct, si));
+    }
+    std::printf("},\"contended_pct\":{");
+    for (size_t si = 0; si < shard_ablation.shard_counts.size(); ++si) {
+      std::printf("%s\"%u\":%.3f", si == 0 ? "" : ",", shard_ablation.shard_counts[si],
+                  shard_column_mean(shard_ablation.contended_pct, si));
+    }
+    std::printf("}}}");
+
     std::printf("}");  // closes "tables" — byte-identical across engines
 
     // Fusion statistics live OUTSIDE .tables: they describe the execution
@@ -877,6 +990,40 @@ int main(int argc, char** argv) {
     t.AddRow({"Average", Table::FormatPercent(cpi::Mean(mpx.software_pct)),
               Table::FormatPercent(cpi::Mean(mpx.mpx_pct))});
     t.Print();
+    std::printf("\n");
+  }
+
+  std::printf("Ablation — safe-region shard count (event-loop + concurrent servers)\n\n");
+  {
+    std::vector<std::string> header = {"Benchmark"};
+    for (uint32_t shards : shard_ablation.shard_counts) {
+      header.push_back("S=" + std::to_string(shards));
+    }
+    const auto print_shard_table = [&](const std::vector<std::vector<double>>& rows) {
+      Table t(header);
+      for (size_t wi = 0; wi < shard_ablation.workloads.size(); ++wi) {
+        std::vector<std::string> row = {shard_ablation.workloads[wi]};
+        for (double v : rows[wi]) {
+          row.push_back(Table::FormatPercent(v));
+        }
+        t.AddRow(row);
+      }
+      t.AddSeparator();
+      std::vector<std::string> avg = {"Average"};
+      for (size_t si = 0; si < shard_ablation.shard_counts.size(); ++si) {
+        std::vector<double> col;
+        for (size_t wi = 0; wi < shard_ablation.workloads.size(); ++wi) {
+          col.push_back(rows[wi][si]);
+        }
+        avg.push_back(Table::FormatPercent(cpi::Mean(col)));
+      }
+      t.AddRow(avg);
+      t.Print();
+    };
+    std::printf("CPI overhead vs vanilla at each shard count:\n\n");
+    print_shard_table(shard_ablation.overhead_pct);
+    std::printf("\nShare of safe-store ops paying the shard-crossing premium:\n\n");
+    print_shard_table(shard_ablation.contended_pct);
     std::printf("\n");
   }
 

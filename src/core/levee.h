@@ -50,6 +50,12 @@ struct Config {
   const ProtectionScheme* scheme = nullptr;
   runtime::StoreKind store = runtime::StoreKind::kArray;
   runtime::IsolationKind isolation = runtime::IsolationKind::kSegment;
+  // Safe-pointer-store shard count (vm::RunOptions::shards). 1 — the default
+  // every historical table is recorded at — is the legacy shared store with
+  // the flat concurrent sync premium; higher counts partition the store into
+  // per-thread write-local shards and charge the modeled shard-crossing cost
+  // instead. Behaviour is identical at any count (tests/shard_test.cc).
+  uint32_t shards = 1;
   bool debug_mode = false;          // §3.2.2 mirror-and-compare
   bool temporal = false;            // CETS-style temporal extension
   bool char_star_heuristic = true;  // §3.2.1

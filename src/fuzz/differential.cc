@@ -71,6 +71,8 @@ std::string DiffCounters(const vm::RunResult& a, const vm::RunResult& b) {
     out << "mem_accesses " << x.mem_accesses << " vs " << y.mem_accesses;
   } else if (x.safe_store_ops != y.safe_store_ops) {
     out << "safe_store_ops " << x.safe_store_ops << " vs " << y.safe_store_ops;
+  } else if (x.store_contended_ops != y.store_contended_ops) {
+    out << "store_contended_ops " << x.store_contended_ops << " vs " << y.store_contended_ops;
   } else if (x.seal_ops != y.seal_ops) {
     out << "seal_ops " << x.seal_ops << " vs " << y.seal_ops;
   } else if (x.checks != y.checks) {
@@ -228,6 +230,40 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
       }
     }
 
+    // Sharded-store cells: the shard count must be invisible to behaviour,
+    // and at any fixed count the engines must stay at full counter identity
+    // (the shard-crossing premium is part of the deterministic cost model,
+    // so reference and fused have to agree on it cycle for cycle).
+    static const uint32_t kShardCounts[] = {2, 64};
+    for (uint32_t shards : kShardCounts) {
+      core::Config ref = base_config(p);
+      ref.shards = shards;
+      ref.engine = vm::EngineKind::kReference;
+      core::Config fused = ref;
+      fused.engine = vm::EngineKind::kFused;
+      Cell cr = RunCell(plan, ref);
+      Cell cf = RunCell(plan, fused);
+      out.cells_run += 2;
+      const std::string label = "shards" + std::to_string(shards);
+      if (!cr.ok || !cf.ok) {
+        fail(CaseStatus::kHostError, scheme + "/" + label,
+             !cr.ok ? cr.host_error : cf.host_error);
+        return out;
+      }
+      if (cr.result.status == vm::RunStatus::kOutOfFuel) {
+        ++out.fuel_skips;
+        continue;
+      }
+      std::string diff = DiffCounters(cr.result, cf.result);
+      if (diff.empty()) {
+        diff = DiffBehaviour(oracle.result, cr.result);
+      }
+      if (!diff.empty()) {
+        fail(CaseStatus::kDivergence, scheme + "/" + label, diff);
+        return out;
+      }
+    }
+
     // Cross-scheme: instrumentation must preserve behaviour against vanilla.
     if (p == core::Protection::kNone) {
       vanilla_oracle = oracle.result;
@@ -282,6 +318,7 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
           vm::FaultKind::kCorruptSafeStack, vm::FaultKind::kCorruptSafeStore,
           vm::FaultKind::kOomSafeStore,     vm::FaultKind::kOomHeapArena,
           vm::FaultKind::kOomPageAlloc,     vm::FaultKind::kForcePreempt,
+          vm::FaultKind::kCorruptShard,     vm::FaultKind::kOomShard,
       };
       for (vm::FaultKind kind : kKinds) {
         vm::FaultPlan fplan;
@@ -290,6 +327,9 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
         fplan.events.push_back({kind, std::max<uint64_t>(2, 2 * span / 3),
                                 Mix(plan.seed, 16 + static_cast<uint64_t>(kind))});
         core::Config config = base_config(p);
+        if (kind == vm::FaultKind::kCorruptShard || kind == vm::FaultKind::kOomShard) {
+          config.shards = 8;  // per-shard containment needs real shards
+        }
         config.faults = &fplan;
         Cell c = RunCell(plan, config);
         ++out.cells_run;

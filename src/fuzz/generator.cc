@@ -52,6 +52,8 @@ struct Builder {
   std::vector<Function*> pures;    // arithmetic only; worker-safe
   std::vector<Function*> mids;     // call leaves (nested call graph)
   std::vector<Function*> workers;  // self-contained thread bodies
+  Function* shared_reader = nullptr;  // cross-shard reader worker
+  Value* shared_cell = nullptr;       // main-homed code-pointer cell it reads
 
   Function* main_fn = nullptr;
   std::vector<Value*> slots;      // i64 allocas
@@ -166,6 +168,43 @@ struct Builder {
       b.Ret(b.Add(b.Load(s_slot), v));
       workers.push_back(fn);
     }
+    // The shared-reader worker generates cross-shard safe-store traffic by
+    // construction: its only input is a main-homed heap cell holding a code
+    // pointer. Every iteration re-reads that cell (under CPI, a safe-store
+    // load homed to another thread's shard) and republishes the pointer
+    // through a private arena cell before the indirect call. Race-free: the
+    // shared cell is written once in the prologue and never mutated again.
+    if (num_workers > 0) {
+      const auto* sreader_ty =
+          t->FunctionTy(t->I64(), {t->PointerTo(t->PointerTo(fn_ty))});
+      Function* fn = m->CreateFunction("shared_reader", sreader_ty);
+      b.SetInsertPoint(fn->CreateBlock("entry"));
+      Value* src = fn->arg(0);
+      Value* mine = b.Malloc(b.I64(8), t->PointerTo(t->PointerTo(fn_ty)));
+      Value* s_slot = b.Alloca(t->I64(), "srs");
+      Value* i_slot = b.Alloca(t->I64(), "sri");
+      b.Store(b.I64(0), s_slot);
+      b.Store(b.I64(0), i_slot);
+      BasicBlock* header = fn->CreateBlock("sr.h");
+      BasicBlock* body = fn->CreateBlock("sr.b");
+      BasicBlock* exit = fn->CreateBlock("sr.e");
+      b.Br(header);
+      b.SetInsertPoint(header);
+      b.CondBr(b.ICmpSLt(b.Load(i_slot), b.I64(5)), body, exit);
+      b.SetInsertPoint(body);
+      Value* fp = b.Load(src);
+      b.Store(fp, mine);
+      Value* i = b.Load(i_slot);
+      Value* r = b.IndirectCall(b.Load(mine), {i});
+      b.Store(b.Add(b.Load(s_slot), r), s_slot);
+      b.Store(b.Add(i, b.I64(1)), i_slot);
+      b.Br(header);
+      b.SetInsertPoint(exit);
+      Value* v = b.Load(s_slot);
+      b.Free(mine);
+      b.Ret(v);
+      shared_reader = fn;
+    }
   }
 
   void BuildMainPrologue() {
@@ -189,6 +228,11 @@ struct Builder {
     Value* cell = b.Malloc(b.I64(8), t->PointerTo(t->I64()));
     b.Store(b.I64(11), cell);
     b.Store(b.Bitcast(cell, t->VoidPtrTy()), b.FieldAddr(the_box, "any"));
+
+    if (shared_reader != nullptr) {
+      shared_cell = b.Malloc(b.I64(8), t->PointerTo(t->PointerTo(fn_ty)));
+      b.Store(b.FuncAddr(pures[0]), shared_cell);
+    }
 
     const ir::PointerType* cell_ty = t->PointerTo(t->I64());
     for (uint32_t c = 0; c < num_cells; ++c) {
@@ -389,6 +433,19 @@ struct Builder {
       case kOpYield:
         b.Yield();
         break;
+      case kOpSpawnShared: {
+        if (shared_reader == nullptr || spawns_total >= kMaxSpawnsTotal) {
+          EmitArith(op);
+          break;
+        }
+        Value* tid = b.Spawn(shared_reader, {shared_cell});
+        Value* slot = b.Alloca(t->I64(), "tid" + std::to_string(tid_slots.size()));
+        b.Store(tid, slot);
+        outstanding.push_back(tid_slots.size());
+        tid_slots.push_back(slot);
+        ++spawns_total;
+        break;
+      }
       case kNumOpKinds:
         break;
     }
@@ -467,6 +524,7 @@ const char* OpKindName(OpKind k) {
     case kOpSpawn: return "spawn";
     case kOpJoin: return "join";
     case kOpYield: return "yield";
+    case kOpSpawnShared: return "spawn-shared";
     case kNumOpKinds: break;
   }
   return "?";
@@ -508,6 +566,7 @@ Plan MakePlan(uint64_t seed, const GenOptions& options) {
     add(kOpSpawn, 3);
     add(kOpJoin, 2);
     add(kOpYield, 1);
+    add(kOpSpawnShared, 2);
   }
 
   CPI_CHECK(options.min_ops >= 1 && options.max_ops >= options.min_ops);

@@ -70,6 +70,8 @@ enum OpKind : uint8_t {
   kOpSpawn,         // spawn a worker thread (tracked; all joined by exit)
   kOpJoin,          // join the oldest outstanding worker
   kOpYield,         // end the current scheduling quantum
+  kOpSpawnShared,   // spawn the shared-reader worker: cross-shard traffic
+                    // (reads a main-homed code-pointer cell; race-free)
   kNumOpKinds,
 };
 

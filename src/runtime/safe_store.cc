@@ -248,6 +248,13 @@ class TwoLevelStore final : public SafePointerStore {
 // array.
 class HashStore final : public SafePointerStore {
  public:
+  // `touch_bias` offsets every synthesised touch address; the sharded
+  // wrapper gives each shard a disjoint bias so the cache model never
+  // aliases two shards' independent probe sequences (slot indices are
+  // per-table insertion history, unlike the array/two-level organisations
+  // whose touch addresses are pure functions of the global slot).
+  explicit HashStore(uint64_t touch_bias = 0) : touch_bias_(touch_bias) {}
+
   StoreKind kind() const override { return StoreKind::kHash; }
 
   // Pre-size to the smallest power-of-two table that holds `entries` live
@@ -402,7 +409,8 @@ class HashStore final : public SafePointerStore {
 
   void Touch(uint64_t index, TouchList* touched) const {
     if (touched != nullptr) {
-      touched->Add(kSafeStoreBase + 0x2000'0000ULL + index * (kSafeEntryBytes + 16));
+      touched->Add(kSafeStoreBase + 0x2000'0000ULL + touch_bias_ +
+                   index * (kSafeEntryBytes + 16));
     }
   }
 
@@ -425,21 +433,138 @@ class HashStore final : public SafePointerStore {
   std::vector<Slot> slots_;
   uint64_t live_entries_ = 0;
   uint64_t tombstones_ = 0;
+  const uint64_t touch_bias_ = 0;
   mutable uint64_t memo_key_ = ~0ULL;
   mutable uint64_t memo_hash_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sharded wrapper: per-thread write-local shards (§3.2.3 scaled out). Every
+// key routes to exactly one of `count` private instances of the base
+// organisation, so the shards partition the key space and never contend on
+// shared structures — the mostly-lock-free design whose modeled cost the VM
+// charges per shard crossing. State per key is identical at any shard count;
+// only residency (per-shard pages/tables) and hash-probe neighbourhoods
+// change, which is the same speed/memory trade-off §4 describes per
+// organisation.
+class ShardedStore final : public SafePointerStore {
+ public:
+  // Touch-address bias stride between hash shards: far larger than any
+  // realistic table so shards' probe addresses never collide.
+  static constexpr uint64_t kHashShardBias = 1ULL << 36;
+
+  ShardedStore(StoreKind kind, uint32_t count, ShardFn shard_of)
+      : kind_(kind), count_(count), shard_of_(shard_of) {
+    shards_.reserve(count);
+    for (uint32_t s = 0; s < count; ++s) {
+      if (kind == StoreKind::kHash) {
+        shards_.push_back(std::make_unique<HashStore>(s * kHashShardBias));
+      } else {
+        shards_.push_back(CreateSafeStore(kind));
+      }
+      // A global InjectAllocFailure must keep global-order semantics:
+      // whichever shard grows next consumes the shared countdown.
+      LinkGrowthFailure(*shards_.back(), *this);
+    }
+  }
+
+  StoreKind kind() const override { return kind_; }
+  uint32_t ShardCount() const override { return count_; }
+
+  void Set(uint64_t addr, const SafeEntry& entry, TouchList* touched) override {
+    ShardFor(addr).Set(addr, entry, touched);
+  }
+  SafeEntry Get(uint64_t addr, TouchList* touched) const override {
+    return ShardFor(addr).Get(addr, touched);
+  }
+  void Clear(uint64_t addr, TouchList* touched) override {
+    ShardFor(addr).Clear(addr, touched);
+  }
+
+  void Reserve(uint64_t entries) override {
+    // Conservative: keys are not uniformly distributed over shards (routing
+    // is by home region), so every shard pre-sizes for the full set.
+    for (auto& s : shards_) {
+      s->Reserve(entries);
+    }
+  }
+
+  uint64_t MemoryBytes() const override {
+    uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s->MemoryBytes();
+    }
+    return total;
+  }
+
+  uint64_t EntryCount() const override {
+    uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s->EntryCount();
+    }
+    return total;
+  }
+
+  bool CorruptEntry(uint64_t which, uint64_t xor_mask) override {
+    // Deterministic global order: shards in index order, each shard's own
+    // organisation-specific order within.
+    const uint64_t live = EntryCount();
+    if (live == 0 || xor_mask == 0) {
+      return false;
+    }
+    uint64_t target = which % live;
+    for (auto& s : shards_) {
+      const uint64_t n = s->EntryCount();
+      if (target < n) {
+        return s->CorruptEntry(target, xor_mask);
+      }
+      target -= n;
+    }
+    return false;
+  }
+
+  bool CorruptEntryInShard(uint32_t shard, uint64_t which, uint64_t xor_mask) override {
+    CPI_CHECK(shard < count_);
+    return shards_[shard]->CorruptEntry(which, xor_mask);
+  }
+
+  void InjectShardAllocFailure(uint32_t shard, uint64_t countdown) override {
+    CPI_CHECK(shard < count_);
+    // The shard's own countdown takes priority over the linked global one.
+    shards_[shard]->InjectAllocFailure(countdown);
+  }
+
+ private:
+  SafePointerStore& ShardFor(uint64_t addr) const {
+    const uint32_t s = shard_of_(addr, count_);
+    CPI_CHECK(s < count_);
+    return *shards_[s];
+  }
+
+  const StoreKind kind_;
+  const uint32_t count_;
+  const ShardFn shard_of_;
+  std::vector<std::unique_ptr<SafePointerStore>> shards_;
 };
 
 }  // namespace
 
 void SafePointerStore::ConsumeGrowthAllocation() {
-  if (alloc_failure_countdown_ == kAllocFailureDisarmed) {
+  if (alloc_failure_countdown_ != kAllocFailureDisarmed) {
+    if (alloc_failure_countdown_ == 0) {
+      alloc_failure_countdown_ = kAllocFailureDisarmed;
+      throw SimulatedOom("safe pointer store growth failed");
+    }
+    --alloc_failure_countdown_;
     return;
   }
-  if (alloc_failure_countdown_ == 0) {
-    alloc_failure_countdown_ = kAllocFailureDisarmed;
-    throw SimulatedOom("safe pointer store growth failed");
+  if (linked_alloc_failure_ != nullptr && *linked_alloc_failure_ != kAllocFailureDisarmed) {
+    if (*linked_alloc_failure_ == 0) {
+      *linked_alloc_failure_ = kAllocFailureDisarmed;
+      throw SimulatedOom("safe pointer store growth failed");
+    }
+    --*linked_alloc_failure_;
   }
-  --alloc_failure_countdown_;
 }
 
 void SafePointerStore::ClearRange(uint64_t addr, uint64_t size) {
@@ -512,6 +637,15 @@ std::unique_ptr<SafePointerStore> CreateSafeStore(StoreKind kind) {
       return std::make_unique<HashStore>();
   }
   CPI_UNREACHABLE();
+}
+
+std::unique_ptr<SafePointerStore> CreateSafeStore(StoreKind kind, uint32_t shards,
+                                                  ShardFn shard_of) {
+  if (shards <= 1) {
+    return CreateSafeStore(kind);
+  }
+  CPI_CHECK(shard_of != nullptr);
+  return std::make_unique<ShardedStore>(kind, shards, shard_of);
 }
 
 }  // namespace cpi::runtime

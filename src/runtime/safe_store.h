@@ -78,11 +78,26 @@ class SafePointerStore {
   // Number of live entries (diagnostics / tests).
   virtual uint64_t EntryCount() const = 0;
 
+  // Number of shards backing this store. 1 for the plain organisations; the
+  // sharded wrapper returned by the shard-aware CreateSafeStore overload
+  // reports its configured count.
+  virtual uint32_t ShardCount() const { return 1; }
+
   // Fault injection (vm::FaultPlan). InjectAllocFailure arms a one-shot
   // simulated OOM: after `countdown` more growth allocations (array pages,
   // second-level tables, hash rehashes) succeed, the next one throws
-  // SimulatedOom — the VM catches it and reports the run as crashed.
+  // SimulatedOom — the VM catches it and reports the run as crashed. On a
+  // sharded store the countdown is global: growth events consume it in
+  // execution order no matter which shard grows.
   void InjectAllocFailure(uint64_t countdown) { alloc_failure_countdown_ = countdown; }
+
+  // Per-shard variant (vm::FaultKind::kOomShard): only growth inside the
+  // given shard consumes the countdown, so the failure is contained to that
+  // shard's structures. On an unsharded store shard 0 is the whole store.
+  virtual void InjectShardAllocFailure(uint32_t shard, uint64_t countdown) {
+    (void)shard;
+    InjectAllocFailure(countdown);
+  }
 
   // XORs `xor_mask` into the protected value of the (`which` mod live)-th
   // live entry, in a deterministic organisation-specific order. Models an
@@ -91,16 +106,48 @@ class SafePointerStore {
   // rather than trust it. Returns false when the store holds no entries.
   virtual bool CorruptEntry(uint64_t which, uint64_t xor_mask) = 0;
 
+  // Per-shard variant (vm::FaultKind::kCorruptShard): corrupts a live entry
+  // of the given shard only, proving containment — entries homed to other
+  // shards are untouched. Returns false when that shard holds no entries.
+  virtual bool CorruptEntryInShard(uint32_t shard, uint64_t which, uint64_t xor_mask) {
+    (void)shard;
+    return CorruptEntry(which, xor_mask);
+  }
+
  protected:
-  // Growth paths call this before allocating backing storage.
+  // Growth paths call this before allocating backing storage. Consumes the
+  // store's own countdown first; when the store is a shard of a sharded
+  // store, it falls back to the parent's (global) countdown.
   void ConsumeGrowthAllocation();
+
+  // Makes `shard`'s growth consume `parent`'s countdown whenever the
+  // shard's own is disarmed (the sharded wrapper links each shard to
+  // itself).
+  static void LinkGrowthFailure(SafePointerStore& shard, SafePointerStore& parent) {
+    shard.linked_alloc_failure_ = &parent.alloc_failure_countdown_;
+  }
 
  private:
   static constexpr uint64_t kAllocFailureDisarmed = ~0ULL;
   uint64_t alloc_failure_countdown_ = kAllocFailureDisarmed;
+  uint64_t* linked_alloc_failure_ = nullptr;
 };
 
 std::unique_ptr<SafePointerStore> CreateSafeStore(StoreKind kind);
+
+// The shard routing function: maps a safe-store key (a regular-region
+// address) to its shard. Supplied by the VM layer (vm::ShardOfAddress), so
+// the runtime stays layout-agnostic. Must be pure.
+using ShardFn = uint32_t (*)(uint64_t addr, uint32_t shard_count);
+
+// Shard-aware factory. `shards` <= 1 returns the plain organisation
+// (bit-for-bit the legacy store); otherwise a sharded wrapper routes every
+// operation to one of `shards` private instances of the organisation via
+// `shard_of(addr, shards)`. Entry state, bulk-transfer semantics and (for
+// the array/two-level organisations) touch addresses are pure functions of
+// the key, so behaviour is identical at every shard count.
+std::unique_ptr<SafePointerStore> CreateSafeStore(StoreKind kind, uint32_t shards,
+                                                  ShardFn shard_of);
 
 }  // namespace cpi::runtime
 

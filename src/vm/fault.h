@@ -43,9 +43,16 @@ enum class FaultKind : uint8_t {
   kOomPageAlloc,
   // Force a context switch at an adversarial point (ignores the quantum).
   kForcePreempt,
+  // Flip bits in a live entry of one shard of the sharded safe pointer
+  // store (arg selects the shard mod ShardCount). Containment is per shard:
+  // entries homed to every other shard must stay intact.
+  kCorruptShard,
+  // The next growth allocation inside one shard of the sharded store fails
+  // with a simulated OOM; other shards keep growing normally.
+  kOomShard,
 };
 
-inline constexpr int kNumFaultKinds = 7;  // including kNone
+inline constexpr int kNumFaultKinds = 9;  // including kNone
 
 inline const char* FaultKindName(FaultKind k) {
   switch (k) {
@@ -63,6 +70,10 @@ inline const char* FaultKindName(FaultKind k) {
       return "oom-page-alloc";
     case FaultKind::kForcePreempt:
       return "force-preempt";
+    case FaultKind::kCorruptShard:
+      return "corrupt-one-shard";
+    case FaultKind::kOomShard:
+      return "oom-one-shard";
   }
   return "?";
 }

@@ -72,6 +72,53 @@ inline constexpr uint64_t SafeStackOwnerOf(uint64_t addr) {
   return addr >= SafeStackTopFor(tid) - kStackRegionBytes ? tid : kMaxThreads;
 }
 
+// --- safe-region sharding ---------------------------------------------------
+// The sharded safe pointer store partitions its keys (regular-region
+// addresses of protected pointers) by the thread whose memory region the
+// address belongs to — its "home". Per-thread unsafe stacks and heap arenas
+// home to their owning tid; everything else (globals, thread 0's heap, code)
+// homes to the main thread. The mapping is a pure function of the address
+// and the static layout above, so it is identical across engines, quanta and
+// schedules — which is what lets the contention model charge per-shard costs
+// without breaking the bit-identical-counters contract.
+inline constexpr uint64_t HomeOf(uint64_t addr) {
+  // Safe-stack slice of Ms: owned by the stack's thread.
+  if (const uint64_t owner = SafeStackOwnerOf(addr); owner < kMaxThreads) {
+    return owner;
+  }
+  // Unsafe stacks stride down from kStackTop; guard gaps home to thread 0.
+  if (addr < kStackTop && addr >= UnsafeStackTopFor(kMaxThreads - 1) - kStackRegionBytes) {
+    const uint64_t tid = (kStackTop - 1 - addr) / kThreadStackStride;
+    if (addr >= UnsafeStackTopFor(tid) - kStackRegionBytes) {
+      return tid;
+    }
+    return 0;
+  }
+  // Spawned threads' heap arenas are carved down from kHeapLimit; arena t
+  // (t >= 1) is [kHeapLimit - t*kThreadHeapBytes, kHeapLimit - (t-1)*...).
+  if (addr < kHeapLimit && addr >= kHeapLimit - (kMaxThreads - 1) * kThreadHeapBytes) {
+    return (kHeapLimit - 1 - addr) / kThreadHeapBytes + 1;
+  }
+  return 0;
+}
+
+// The shard a safe-store key lives in. Homes are hashed (SplitMix64) onto
+// shards rather than taken mod `count`: with only kMaxThreads static homes a
+// modulo mapping would keep every shard shared until count >= kMaxThreads,
+// hiding the contention decline the shard ablation exists to show.
+inline constexpr uint64_t ShardHash(uint64_t home) {
+  uint64_t z = home + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+inline constexpr uint32_t ShardOfAddress(uint64_t addr, uint32_t count) {
+  if (count <= 1) {
+    return 0;
+  }
+  return static_cast<uint32_t>(ShardHash(HomeOf(addr)) % count);
+}
+
 // Return tokens: values the VM uses to represent saved return addresses in
 // stack memory. Deliberately a distinct range so a corrupted token is
 // distinguishable from a code address (jumping to one or the other behaves

@@ -81,8 +81,26 @@ class Machine {
   Machine(const ir::Module& module, const RunOptions& options)
       : module_(module),
         options_(options),
-        store_(options.use_safe_store ? runtime::CreateSafeStore(options.store) : nullptr),
-        sealer_(runtime::DeriveSealKey(options.seed)) {}
+        store_(options.use_safe_store
+                   ? runtime::CreateSafeStore(options.store,
+                                              std::max<uint32_t>(options.shards, 1),
+                                              &ShardOfAddress)
+                   : nullptr),
+        sealer_(runtime::DeriveSealKey(options.seed)),
+        shards_(std::max<uint32_t>(options.shards, 1)) {
+    // Static shard-ownership table: shard s is write-local to thread t when
+    // t's home is the only one hashing to s; otherwise (including the
+    // single-shard default, shared by construction) the shard is contended
+    // for every thread. Pure function of the shard count — never of the
+    // schedule — so charges stay engine/quantum-invariant.
+    shard_owner_.assign(shards_, -1);
+    if (shards_ > 1) {
+      for (uint64_t h = 0; h < kMaxThreads; ++h) {
+        const uint32_t s = static_cast<uint32_t>(ShardHash(h) % shards_);
+        shard_owner_[s] = shard_owner_[s] == -1 ? static_cast<int32_t>(h) : -2;
+      }
+    }
+  }
 
   RunResult Run();
 
@@ -464,26 +482,34 @@ class Machine {
     CPI_CHECK(store_ != nullptr);
     TouchList t;
     store_->Set(addr, entry, &t);
-    ChargeStoreTouches(t);
+    ChargeStoreTouches(addr, t);
   }
   SafeEntry StoreGet(uint64_t addr) {
     CPI_CHECK(store_ != nullptr);
     TouchList t;
     SafeEntry e = store_->Get(addr, &t);
-    ChargeStoreTouches(t);
+    ChargeStoreTouches(addr, t);
     return e;
   }
   void StoreClear(uint64_t addr) {
     CPI_CHECK(store_ != nullptr);
     TouchList t;
     store_->Clear(addr, &t);
-    ChargeStoreTouches(t);
+    ChargeStoreTouches(addr, t);
   }
-  void ChargeStoreTouches(const TouchList& t) {
+  // The shard-crossing rule (see OpCosts::sync): an access is contended
+  // unless its key's shard is write-local to the executing thread. Reads pay
+  // like writes — epoch validation against a shard another thread can write
+  // is conservatively treated as a crossing (and at the default shard count
+  // of 1 the one shard is shared, reproducing the flat model exactly).
+  bool ShardContended(uint64_t addr) const {
+    return shard_owner_[ShardOfAddress(addr, shards_)] !=
+           static_cast<int32_t>(cur_->tid);
+  }
+  void ChargeStoreTouches(uint64_t addr, const TouchList& t) {
     ++result_.counters.safe_store_ops;
-    if (concurrent_) {
-      // The safe pointer store is shared process state: once a second thread
-      // exists every store operation pays the scheme's synchronization cost.
+    if (concurrent_ && ShardContended(addr)) {
+      ++result_.counters.store_contended_ops;
       Cycles(options_.costs.sync);
     }
     for (int i = 0; i < t.count; ++i) {
@@ -491,12 +517,15 @@ class Machine {
     }
   }
   // Bulk safe-store mutation (checked memcpy/memmove/clear): `ops` per-word
-  // operations at 2 cycles each, each paying the same sync premium as a
-  // single store op once the run is concurrent.
-  void ChargeBulkStoreOps(uint64_t ops) {
+  // operations at 2 cycles each. The shard crossing is judged once for the
+  // whole transfer by its destination base address — a checked memcpy
+  // publishes into one region, so one epoch/ownership validation covers the
+  // batch (documented accounting rule; ranges almost never straddle homes).
+  void ChargeBulkStoreOps(uint64_t dst_addr, uint64_t ops) {
     result_.counters.safe_store_ops += ops;
     Cycles(ops * 2);
-    if (concurrent_) {
+    if (concurrent_ && ShardContended(dst_addr)) {
+      result_.counters.store_contended_ops += ops;
       Cycles(ops * options_.costs.sync);
     }
   }
@@ -554,6 +583,12 @@ class Machine {
   uint64_t quantum_left_ = 1;
   bool resched_ = false;    // current thread yielded / blocked / finished
   bool concurrent_ = false; // a spawn has happened; sync costs now apply
+
+  // Safe-store sharding (RunOptions::shards): shard_owner_[s] is the tid the
+  // shard is write-local to, or negative when shared (unclaimed / hash
+  // collision / the single-shard default).
+  const uint32_t shards_;
+  std::vector<int32_t> shard_owner_;
 
   ProgramLayout layout_;  // flat per-ordinal address vectors
   std::unique_ptr<DecodedModule> decoded_;  // null when running the reference
@@ -1017,6 +1052,26 @@ void Machine::InjectFault(const FaultEvent& e) {
       break;
     case FaultKind::kForcePreempt:
       resched_ = true;
+      break;
+    case FaultKind::kCorruptShard: {
+      // Corrupt a live entry of one shard only (arg picks the shard; the
+      // containment contract is that every other shard's entries survive
+      // intact). On the unsharded default the one shard is the whole store.
+      if (store_ == nullptr) {
+        return;
+      }
+      const uint32_t shard = static_cast<uint32_t>(e.arg % store_->ShardCount());
+      if (!store_->CorruptEntryInShard(shard, e.arg >> 4, (e.arg >> 8) | 1)) {
+        return;
+      }
+      break;
+    }
+    case FaultKind::kOomShard:
+      if (store_ == nullptr) {
+        return;
+      }
+      store_->InjectShardAllocFailure(
+          static_cast<uint32_t>(e.arg % store_->ShardCount()), e.arg % 4);
       break;
   }
   ++result_.faults_injected;
@@ -1674,7 +1729,7 @@ void Machine::DoLibCall(Frame& f, LibFunc func, bool checked, const Ops& ops) {
     } else {
       store_->CopyRange(dst, src, n);
     }
-    ChargeBulkStoreOps(n / 8 + 1);
+    ChargeBulkStoreOps(dst, n / 8 + 1);
   };
   // PtrEnc checked variants re-seal moved pointers: the storage location is
   // part of the MAC domain, so a sealed word copied to a new address must be
@@ -1706,7 +1761,7 @@ void Machine::DoLibCall(Frame& f, LibFunc func, bool checked, const Ops& ops) {
       return;
     }
     store_->ClearRange(dst, n);
-    ChargeBulkStoreOps(n / 8 + 1);
+    ChargeBulkStoreOps(dst, n / 8 + 1);
   };
 
   auto copy_bytes = [&](uint64_t dst, const RegMeta& dm, uint64_t src, const RegMeta& sm,

@@ -63,10 +63,15 @@ struct OpCosts {
   uint64_t cfi_check = 3;  // coarse-CFI valid-set membership test
   uint64_t seal = 4;       // PAC-style sign (PtrEnc store / call setup)
   uint64_t auth = 4;       // PAC-style authenticate (PtrEnc load / return)
-  // Synchronization premium on every safe-pointer-store operation once the
-  // run has spawned a second thread (§3.2.3: the safe region is shared
-  // process state, so concurrent mutation needs lock-prefixed accesses).
-  // Single-threaded runs never pay it, keeping historical tables intact.
+  // Shard-crossing premium on safe-pointer-store operations once the run
+  // has spawned a second thread (§3.2.3: the safe region is shared process
+  // state). The store is partitioned into RunOptions::shards per-thread
+  // write-local shards; an access pays this premium exactly when its key's
+  // shard is not owned by the accessing thread (epoch validation against a
+  // foreign-writable shard — conservatively charged on reads and writes
+  // alike). At the default shard count of 1 the single shard is shared by
+  // every thread, so every concurrent access pays — the historical flat
+  // model, byte for byte. Single-threaded runs never pay it.
   uint64_t sync = 2;
 };
 
@@ -85,6 +90,12 @@ struct RunOptions {
   // pointers in place — or not at all — set this false via ConfigureRun and
   // no store is ever allocated).
   bool use_safe_store = true;
+  // Shard count of the safe pointer store (vm::ShardOfAddress routing).
+  // 1 — the default — is the legacy shared store with the flat concurrent
+  // sync premium; every recorded table is at 1. Behaviour (status, output,
+  // per-op entry state) is identical at any count; cycles/cache/memory
+  // legitimately vary with it (bench/ablation_shards sweeps it).
+  uint32_t shards = 1;
   OpCosts costs;
   // Scheduling quantum of the deterministic round-robin thread scheduler:
   // how many instructions a runnable thread executes before the next one
@@ -107,6 +118,9 @@ struct Counters {
   uint64_t cycles = 0;
   uint64_t mem_accesses = 0;
   uint64_t safe_store_ops = 0;
+  // Safe-store ops that paid the shard-crossing sync premium (0 while
+  // single-threaded; == safe_store_ops-after-first-spawn at shard count 1).
+  uint64_t store_contended_ops = 0;
   uint64_t seal_ops = 0;  // PtrEnc sign/authenticate operations
   uint64_t checks = 0;
   uint64_t calls = 0;

@@ -370,7 +370,176 @@ std::unique_ptr<Module> BuildProducerConsumer(int scale) {
   return m;
 }
 
+// --- epoll-style event loop --------------------------------------------------
+// The mt-* scenarios scaled to "millions of users" shape: each worker owns a
+// disjoint slab of keep-alive connections (SO_REUSEPORT-style sharding) in
+// its *own heap arena* — conn objects carry a handler function pointer, so
+// every dispatch is a safe-store access homed to the worker's shard. Each
+// epoch processes a pseudo-random ready batch (what epoll_wait would
+// return, computed by index arithmetic so the program stays branch-free and
+// race-free), then churns a few connections (close + fresh accept), which
+// re-reads the shared handler table — the main-thread-homed accesses that
+// set the contention floor the shard ablation levels off at.
+std::unique_ptr<Module> BuildEventLoop(int scale) {
+  auto m = std::make_unique<Module>("server.mt-epoll");
+  auto& t = m->types();
+  IRBuilder b(m.get());
+  GlobalVariable* checksum = MakeChecksumGlobal(*m);
+
+  constexpr uint64_t kConns = 512;   // per worker: kWorkers*512 live connections
+  constexpr uint64_t kBatch = 64;    // connections per epoll_wait batch
+  constexpr uint64_t kChurn = 8;     // closes + fresh accepts per epoch
+  const uint64_t epochs = 3 * static_cast<uint64_t>(scale);
+
+  const ir::FunctionType* handler_ty =
+      t.FunctionTy(t.I64(), {t.PointerTo(t.CharTy()), t.I64()});
+  StructType* conn = t.GetOrCreateStruct("conn");
+  conn->SetBody({{"handler", t.PointerTo(handler_ty), 0},
+                 {"state", t.I64(), 0},
+                 {"reqs", t.I64(), 0}});
+
+  // The shared handler table (read-only after main's registration loop).
+  const uint64_t n_handlers = 4;
+  GlobalVariable* handlers =
+      m->CreateGlobal("handlers", t.ArrayOf(t.PointerTo(handler_ty), n_handlers));
+
+  std::vector<Function*> hfns;
+  for (uint64_t k = 0; k < n_handlers; ++k) {
+    Function* h = m->CreateFunction("ev_handler_" + std::to_string(k), handler_ty);
+    b.SetInsertPoint(h->CreateBlock("entry"));
+    Value* buf = h->arg(0);
+    Value* req = h->arg(1);
+    Value* i_slot = b.Alloca(t.I64(), "i");
+    LoopBlocks body = BeginLoop(b, h, i_slot, b.I64(0), b.I64(16), "fmt");
+    Value* c = b.Binary(ir::BinOp::kAnd,
+                        b.Add(b.Mul(body.index, b.I64(2 * k + 3)), req), b.I64(63));
+    b.Store(b.Cast(ir::CastKind::kTrunc, b.Add(c, b.I64('0')), t.CharTy()),
+            b.IndexAddr(buf, body.index));
+    EndLoop(b, body);
+    b.Store(b.Char(0), b.IndexAddr(buf, b.I64(16)));
+    b.Ret(b.LibCall(ir::LibFunc::kStrlen, {buf}));
+    hfns.push_back(h);
+  }
+
+  // accept(conns, i, which, state): close any previous connection in slot i
+  // and install a fresh one whose handler comes from the shared table.
+  Function* accept_fn = m->CreateFunction(
+      "ev_accept", t.FunctionTy(t.VoidTy(),
+                                {t.PointerTo(t.PointerTo(conn)), t.I64(), t.I64(), t.I64()}));
+  {
+    b.SetInsertPoint(accept_fn->CreateBlock("entry"));
+    Value* conns = accept_fn->arg(0);
+    Value* idx = accept_fn->arg(1);
+    Value* which = accept_fn->arg(2);
+    Value* state = accept_fn->arg(3);
+    Value* fresh = b.Malloc(b.I64(conn->SizeInBytes()), t.PointerTo(conn), "conn");
+    Value* h = b.Load(b.IndexAddr(b.GlobalAddr(handlers),
+                                  b.Binary(ir::BinOp::kAnd, which, b.I64(n_handlers - 1))));
+    b.Store(h, b.FieldAddr(fresh, "handler"));
+    b.Store(state, b.FieldAddr(fresh, "state"));
+    b.Store(b.I64(0), b.FieldAddr(fresh, "reqs"));
+    b.Store(fresh, b.IndexAddr(conns, idx));
+    b.Ret();
+  }
+
+  // worker(shard): own connection slab, then the event loop.
+  Function* worker = m->CreateFunction("worker", t.FunctionTy(t.I64(), {t.I64()}));
+  {
+    b.SetInsertPoint(worker->CreateBlock("entry"));
+    Value* shard = worker->arg(0);
+    Value* i_slot = b.Alloca(t.I64(), "i");
+    Value* e_slot = b.Alloca(t.I64(), "epoch");
+    Value* k_slot = b.Alloca(t.I64(), "k");
+    Value* j_slot = b.Alloca(t.I64(), "j");
+    Value* acc_slot = b.Alloca(t.I64(), "acc");
+    b.Store(shard, acc_slot);
+    Value* conns =
+        b.Malloc(b.I64(kConns * 8), t.PointerTo(t.PointerTo(conn)), "conns");
+    Value* resp = b.Malloc(b.I64(64), t.PointerTo(t.CharTy()), "resp");
+
+    // Accept the initial keep-alive population.
+    LoopBlocks init = BeginLoop(b, worker, i_slot, b.I64(0), b.I64(kConns), "init");
+    b.Call(accept_fn, {conns, init.index, b.Add(init.index, shard),
+                       b.Add(b.Mul(init.index, b.I64(7)), shard)});
+    EndLoop(b, init);
+
+    LoopBlocks ep = BeginLoop(b, worker, e_slot, b.I64(0), b.I64(epochs), "epoch");
+    // Ready batch: the connections "epoll_wait" reported this epoch. The
+    // stride is odd, so batch indices are distinct within an epoch.
+    LoopBlocks batch = BeginLoop(b, worker, k_slot, b.I64(0), b.I64(kBatch), "batch");
+    Value* ready = b.Binary(
+        ir::BinOp::kAnd,
+        b.Add(b.Mul(batch.index, b.I64(5)), b.Mul(ep.index, b.I64(3))),
+        b.I64(kConns - 1));
+    Value* cptr = b.Load(b.IndexAddr(conns, ready));
+    Value* h = b.Load(b.FieldAddr(cptr, "handler"));
+    Value* state = b.Load(b.FieldAddr(cptr, "state"));
+    Value* len = b.IndirectCall(h, {resp, b.Add(state, ep.index)});
+    b.Store(b.Add(b.Mul(state, b.I64(31)), len), b.FieldAddr(cptr, "state"));
+    b.Store(b.Add(b.Load(b.FieldAddr(cptr, "reqs")), b.I64(1)),
+            b.FieldAddr(cptr, "reqs"));
+    b.Store(b.Add(b.Mul(b.Load(acc_slot), b.I64(31)), len), acc_slot);
+    EndLoop(b, batch);
+
+    // Keep-alive churn: a few connections close and fresh ones are accepted
+    // in their slots (free + malloc in this worker's arena; handler re-read
+    // from the shared table).
+    LoopBlocks churn = BeginLoop(b, worker, j_slot, b.I64(0), b.I64(kChurn), "churn");
+    Value* slot = b.Binary(
+        ir::BinOp::kAnd,
+        b.Add(b.Mul(churn.index, b.I64(11)), b.Mul(ep.index, b.I64(7))),
+        b.I64(kConns - 1));
+    b.Free(b.Load(b.IndexAddr(conns, slot)));
+    b.Call(accept_fn, {conns, slot, b.Add(b.Add(slot, ep.index), shard),
+                       b.Add(b.Mul(ep.index, b.I64(13)), slot)});
+    EndLoop(b, churn);
+    b.Yield();
+    EndLoop(b, ep);
+
+    // Drain: close every connection and fold the states.
+    LoopBlocks drain = BeginLoop(b, worker, i_slot, b.I64(0), b.I64(kConns), "drain");
+    Value* dptr = b.Load(b.IndexAddr(conns, drain.index));
+    b.Store(b.Add(b.Mul(b.Load(acc_slot), b.I64(31)),
+                  b.Load(b.FieldAddr(dptr, "state"))),
+            acc_slot);
+    b.Free(dptr);
+    EndLoop(b, drain);
+    b.Free(resp);
+    b.Free(conns);
+    b.Ret(b.Load(acc_slot));
+  }
+
+  Function* main = m->CreateFunction("main", t.FunctionTy(t.I64(), {}));
+  b.SetInsertPoint(main->CreateBlock("entry"));
+  Value* i_slot = b.Alloca(t.I64(), "i");
+
+  // Register handlers before any worker exists; read-only from then on.
+  LoopBlocks reg = BeginLoop(b, main, i_slot, b.I64(0), b.I64(n_handlers), "reg");
+  Value* which = b.Binary(ir::BinOp::kAnd, reg.index, b.I64(3));
+  Value* h01 = b.Select(b.ICmpEq(which, b.I64(0)), b.FuncAddr(hfns[0]),
+                        b.FuncAddr(hfns[1]));
+  Value* h23 = b.Select(b.ICmpEq(which, b.I64(2)), b.FuncAddr(hfns[2]),
+                        b.FuncAddr(hfns[3]));
+  Value* h = b.Select(b.ICmpSLt(which, b.I64(2)), h01, h23);
+  b.Store(h, b.IndexAddr(b.GlobalAddr(handlers), reg.index));
+  EndLoop(b, reg);
+
+  std::vector<Value*> tids;
+  for (uint64_t w = 0; w < kWorkers; ++w) {
+    tids.push_back(b.Spawn(worker, {b.I64(w)}, "w" + std::to_string(w)));
+  }
+  JoinWorkersAndFinish(b, checksum, tids);
+  return m;
+}
+
 }  // namespace
+
+const std::vector<Workload>& EventLoop() {
+  static const std::vector<Workload>* workloads = new std::vector<Workload>{
+      {"mt-event-loop", "C", BuildEventLoop, {}},
+  };
+  return *workloads;
+}
 
 const std::vector<Workload>& ConcurrentServer() {
   static const std::vector<Workload>* workloads = new std::vector<Workload>{

@@ -51,6 +51,8 @@ CellResult RunCell(const ir::Module& built, const Workload& workload,
   out.cycles = r.counters.cycles;
   out.memory_bytes = r.memory.TotalBytes();
   out.safe_store_bytes = r.memory.safe_store_bytes;
+  out.safe_store_ops = r.counters.safe_store_ops;
+  out.store_contended_ops = r.counters.store_contended_ops;
   out.stats = co.stats;
   return out;
 }

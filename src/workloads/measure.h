@@ -62,6 +62,11 @@ struct CellResult {
   uint64_t cycles = 0;
   uint64_t memory_bytes = 0;      // total footprint (MemoryFootprint::TotalBytes)
   uint64_t safe_store_bytes = 0;  // resident safe pointer store
+  uint64_t safe_store_ops = 0;    // safe-pointer-store operations executed
+  // Store ops that paid the shard-crossing sync premium (the shard
+  // ablation's contention metric; == safe_store_ops after the first spawn
+  // at the default shard count of 1).
+  uint64_t store_contended_ops = 0;
   analysis::ModuleStats stats;    // static stats under the cell's config
 };
 

@@ -45,6 +45,14 @@ const std::vector<Workload>& WebServer();
 // by construction, so counters are deterministic at any scheduler quantum.
 const std::vector<Workload>& ConcurrentServer();
 
+// The epoll-style event-loop server: per-worker keep-alive connection slabs
+// (handler function pointers in worker-homed heap arenas), pseudo-random
+// ready batches, connection churn against the shared handler table. The
+// driving workload of the safe-store shard ablation (bench/ablation_shards).
+// Kept out of ConcurrentServer() so the recorded table4_concurrent baseline
+// is untouched.
+const std::vector<Workload>& EventLoop();
+
 const Workload* FindWorkload(const std::string& name);
 
 }  // namespace cpi::workloads

@@ -38,6 +38,7 @@ void ExpectIdentical(const RunResult& decoded, const RunResult& reference,
   EXPECT_EQ(dc.cycles, rc.cycles) << label;
   EXPECT_EQ(dc.mem_accesses, rc.mem_accesses) << label;
   EXPECT_EQ(dc.safe_store_ops, rc.safe_store_ops) << label;
+  EXPECT_EQ(dc.store_contended_ops, rc.store_contended_ops) << label;
   EXPECT_EQ(dc.seal_ops, rc.seal_ops) << label;
   EXPECT_EQ(dc.checks, rc.checks) << label;
   EXPECT_EQ(dc.calls, rc.calls) << label;

@@ -41,6 +41,7 @@ void ExpectIdentical(const RunResult& a, const RunResult& b, const std::string& 
   EXPECT_EQ(ac.cycles, bc.cycles) << label;
   EXPECT_EQ(ac.mem_accesses, bc.mem_accesses) << label;
   EXPECT_EQ(ac.safe_store_ops, bc.safe_store_ops) << label;
+  EXPECT_EQ(ac.store_contended_ops, bc.store_contended_ops) << label;
   EXPECT_EQ(ac.seal_ops, bc.seal_ops) << label;
   EXPECT_EQ(ac.checks, bc.checks) << label;
   EXPECT_EQ(ac.calls, bc.calls) << label;

@@ -17,6 +17,7 @@
 #include "src/ir/verifier.h"
 #include "src/runtime/safe_store.h"
 #include "src/support/oom.h"
+#include "src/vm/layout.h"
 #include "src/vm/memory.h"
 
 namespace cpi {
@@ -170,6 +171,99 @@ TEST(FaultInjectionTest, ForcedPreemptionPreservesBehaviour) {
   EXPECT_EQ(r.status, base.status);
   EXPECT_EQ(r.output, base.output);
   EXPECT_EQ(r.exit_code, base.exit_code);
+}
+
+// Per-shard corruption (vm::FaultKind::kCorruptShard) must be contained:
+// exactly one live entry of the targeted shard changes, and entries homed
+// to every other shard survive intact.
+TEST(FaultInjectionTest, ShardCorruptionIsContainedToOneShard) {
+  for (runtime::StoreKind kind : {runtime::StoreKind::kArray, runtime::StoreKind::kTwoLevel,
+                                  runtime::StoreKind::kHash}) {
+    auto store = runtime::CreateSafeStore(kind, 8, &vm::ShardOfAddress);
+    ASSERT_EQ(store->ShardCount(), 8u);
+    // One entry per static home so several distinct shards are populated.
+    uint64_t addrs[vm::kMaxThreads];
+    for (uint32_t t = 0; t < vm::kMaxThreads; ++t) {
+      addrs[t] = vm::UnsafeStackTopFor(t) - 16;
+      store->Set(addrs[t], runtime::SafeEntry::Code(0x200 + t), nullptr);
+    }
+    const uint32_t victim = vm::ShardOfAddress(addrs[0], 8);
+    ASSERT_TRUE(store->CorruptEntryInShard(victim, 1, 0xf0)) << runtime::StoreKindName(kind);
+    int changed_in_victim = 0;
+    int changed_elsewhere = 0;
+    for (uint32_t t = 0; t < vm::kMaxThreads; ++t) {
+      const runtime::SafeEntry e = store->Get(addrs[t], nullptr);
+      ASSERT_TRUE(e.IsPresent());
+      const bool changed = e.value != 0x200 + t;
+      (vm::ShardOfAddress(addrs[t], 8) == victim ? changed_in_victim : changed_elsewhere) +=
+          changed;
+    }
+    EXPECT_EQ(changed_in_victim, 1) << runtime::StoreKindName(kind);
+    EXPECT_EQ(changed_elsewhere, 0) << runtime::StoreKindName(kind);
+  }
+}
+
+// Per-shard OOM (vm::FaultKind::kOomShard): arming one shard's growth
+// countdown must leave every other shard free to grow without limit.
+TEST(FaultInjectionTest, ShardAllocFailureFiresOnlyInTheArmedShard) {
+  // Two heap arenas whose homes hash to different shards at count 8.
+  const uint64_t arena_a = vm::kHeapLimit - 1 * vm::kThreadHeapBytes;
+  uint64_t arena_b = 0;
+  for (uint64_t t = 2; t < vm::kMaxThreads; ++t) {
+    const uint64_t base = vm::kHeapLimit - t * vm::kThreadHeapBytes;
+    if (vm::ShardOfAddress(base, 8) != vm::ShardOfAddress(arena_a, 8)) {
+      arena_b = base;
+      break;
+    }
+  }
+  ASSERT_NE(arena_b, 0u);
+  for (runtime::StoreKind kind : {runtime::StoreKind::kArray, runtime::StoreKind::kTwoLevel,
+                                  runtime::StoreKind::kHash}) {
+    auto store = runtime::CreateSafeStore(kind, 8, &vm::ShardOfAddress);
+    store->InjectShardAllocFailure(vm::ShardOfAddress(arena_a, 8), 0);
+    // Growth confined to the unarmed shard sails through...
+    EXPECT_NO_THROW({
+      for (uint64_t i = 0; i < 4096; ++i) {
+        store->Set(arena_b + i * 8192, runtime::SafeEntry::Code(0x40), nullptr);
+      }
+    }) << runtime::StoreKindName(kind);
+    // ...while the first growth inside the armed shard trips the OOM.
+    EXPECT_THROW(
+        {
+          for (uint64_t i = 0; i < 4096; ++i) {
+            store->Set(arena_a + i * 8192, runtime::SafeEntry::Code(0x40), nullptr);
+          }
+        },
+        SimulatedOom)
+        << runtime::StoreKindName(kind);
+  }
+}
+
+// The VM-level shard fault kinds must surface as reported results for every
+// scheme — never as an escaped exception — and actually land when a sharded
+// CPI store is present.
+TEST(FaultInjectionTest, ShardFaultsAreContainedForEveryScheme) {
+  const fuzz::Plan plan = fuzz::MakePlan(9, FullOptions());
+  for (core::Protection p :
+       {core::Protection::kNone, core::Protection::kSafeStack, core::Protection::kCps,
+        core::Protection::kCpi, core::Protection::kSoftBound, core::Protection::kCfi,
+        core::Protection::kStackCookies, core::Protection::kPtrEnc}) {
+    for (vm::FaultKind kind : {vm::FaultKind::kCorruptShard, vm::FaultKind::kOomShard}) {
+      vm::FaultPlan faults;
+      faults.events.push_back({kind, /*at_instruction=*/40, /*arg=*/5});
+      core::Config config;
+      config.protection = p;
+      config.shards = 8;
+      config.faults = &faults;
+      auto module = fuzz::Materialize(plan);
+      vm::RunResult r;
+      ASSERT_NO_THROW(r = core::InstrumentAndRun(*module, config))
+          << core::ProtectionName(p) << "/" << vm::FaultKindName(kind);
+      if (p == core::Protection::kCpi && kind == vm::FaultKind::kOomShard) {
+        EXPECT_GT(r.faults_injected, 0u) << r.message;
+      }
+    }
+  }
 }
 
 // --- Minimizer + corpus ---------------------------------------------------

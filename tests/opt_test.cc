@@ -523,6 +523,7 @@ void ExpectIdentical(const RunResult& a, const RunResult& b, const std::string& 
   EXPECT_EQ(x.cycles, y.cycles) << label;
   EXPECT_EQ(x.mem_accesses, y.mem_accesses) << label;
   EXPECT_EQ(x.safe_store_ops, y.safe_store_ops) << label;
+  EXPECT_EQ(x.store_contended_ops, y.store_contended_ops) << label;
   EXPECT_EQ(x.seal_ops, y.seal_ops) << label;
   EXPECT_EQ(x.checks, y.checks) << label;
   EXPECT_EQ(x.calls, y.calls) << label;

@@ -1,22 +1,30 @@
 // Unit and property tests for the runtime: the three safe-pointer-store
 // organisations (behavioural equivalence under random operation sequences,
 // range helpers, memory accounting), metadata semantics, and temporal ids.
+// Every store test runs over (organisation × shard count) — a sharded store
+// must be behaviourally indistinguishable from the flat one it wraps.
 #include <gtest/gtest.h>
 
 #include <map>
+#include <tuple>
 
 #include "src/runtime/metadata.h"
 #include "src/runtime/safe_store.h"
 #include "src/runtime/seal.h"
 #include "src/runtime/temporal.h"
 #include "src/support/rng.h"
+#include "src/vm/layout.h"
 
 namespace cpi::runtime {
 namespace {
 
-class StoreTest : public ::testing::TestWithParam<StoreKind> {
+class StoreTest : public ::testing::TestWithParam<std::tuple<StoreKind, uint32_t>> {
  protected:
-  std::unique_ptr<SafePointerStore> store_ = CreateSafeStore(GetParam());
+  StoreKind Kind() const { return std::get<0>(GetParam()); }
+  uint32_t Shards() const { return std::get<1>(GetParam()); }
+
+  std::unique_ptr<SafePointerStore> store_ =
+      CreateSafeStore(Kind(), Shards(), &vm::ShardOfAddress);
 };
 
 TEST_P(StoreTest, SetGetRoundTrip) {
@@ -209,7 +217,7 @@ TEST_P(StoreTest, RehashDropsTombstonesAndKeepsEntries) {
 // Property test: every organisation behaves like a plain map under a random
 // operation mix.
 TEST_P(StoreTest, EquivalentToReferenceMapUnderRandomOps) {
-  Rng rng(2024 + static_cast<uint64_t>(GetParam()));
+  Rng rng(2024 + static_cast<uint64_t>(Kind()) + 31 * Shards());
   std::map<uint64_t, SafeEntry> reference;
   for (int step = 0; step < 20000; ++step) {
     const uint64_t slot_addr = rng.NextBelow(512) * 8 + 0x10000;
@@ -250,17 +258,20 @@ TEST_P(StoreTest, MemoryAccountingGrowsWithEntries) {
   EXPECT_EQ(store_->EntryCount(), 1000u);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllStores, StoreTest,
-                         ::testing::Values(StoreKind::kArray, StoreKind::kTwoLevel,
-                                           StoreKind::kHash),
-                         [](const ::testing::TestParamInfo<StoreKind>& info) {
-                           switch (info.param) {
-                             case StoreKind::kArray: return "array";
-                             case StoreKind::kTwoLevel: return "two_level";
-                             case StoreKind::kHash: return "hash";
-                           }
-                           return "unknown";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllStores, StoreTest,
+    ::testing::Combine(::testing::Values(StoreKind::kArray, StoreKind::kTwoLevel,
+                                         StoreKind::kHash),
+                       ::testing::Values(1u, 2u, 8u, 64u)),
+    [](const ::testing::TestParamInfo<std::tuple<StoreKind, uint32_t>>& info) {
+      std::string name = "unknown";
+      switch (std::get<0>(info.param)) {
+        case StoreKind::kArray: name = "array"; break;
+        case StoreKind::kTwoLevel: name = "two_level"; break;
+        case StoreKind::kHash: name = "hash"; break;
+      }
+      return name + "_s" + std::to_string(std::get<1>(info.param));
+    });
 
 TEST(StoreComparisonTest, HashIsMostMemoryFrugalForSparseEntries) {
   auto array = CreateSafeStore(StoreKind::kArray);
