@@ -17,6 +17,11 @@
 //                shared store every historical table is recorded at).
 //                Behaviour is shard-count-invariant; cycles model per-shard
 //                contention (see bench/ablation_shards).
+//   --migrate    epoch-based shard-ownership migration (default off — the
+//                static owner table every historical table is recorded
+//                under). Only meaningful with --shards > 1: ownership then
+//                republishes at spawn/join boundaries and readers take the
+//                RCU-style epoch path (see bench/ablation_churn).
 #ifndef CPI_BENCH_FLAGS_H_
 #define CPI_BENCH_FLAGS_H_
 
@@ -36,7 +41,8 @@ struct Flags {
   int jobs = 0;  // resolved to ThreadPool::DefaultJobs() by Parse
   int opt = 0;   // core::Config::opt_level for the measured cells
   vm::EngineKind engine = vm::EngineKind::kFused;  // core::Config::engine
-  uint32_t shards = 1;  // core::Config::shards for the measured cells
+  uint32_t shards = 1;   // core::Config::shards for the measured cells
+  bool migrate = false;  // core::Config::migrate for the measured cells
 };
 
 // The Config every measured cell starts from under these flags.
@@ -45,13 +51,14 @@ inline core::Config BaseConfig(const Flags& flags) {
   config.opt_level = flags.opt;
   config.engine = flags.engine;
   config.shards = flags.shards;
+  config.migrate = flags.migrate;
   return config;
 }
 
 inline void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--json] [--time] [--scale N|small] [--jobs N] [--opt N] "
-               "[--engine fused|decoded|reference] [--shards N]\n",
+               "[--engine fused|decoded|reference] [--shards N] [--migrate]\n",
                argv0);
 }
 
@@ -88,6 +95,8 @@ inline Flags Parse(int argc, char** argv) {
       } else {
         flags.shards = static_cast<uint32_t>(n);
       }
+    } else if (std::strcmp(argv[i], "--migrate") == 0) {
+      flags.migrate = true;
     } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       ++i;
       if (std::strcmp(argv[i], "fused") == 0) {
@@ -112,6 +121,14 @@ inline Flags Parse(int argc, char** argv) {
   }
   if (flags.jobs == 0) {
     flags.jobs = ThreadPool::DefaultJobs();
+  }
+  if (flags.migrate && flags.shards == 1) {
+    // Ownership of a single shard can never migrate: the flag combination is
+    // legal (runs are byte-identical to plain --shards 1) but almost
+    // certainly not what the user meant.
+    std::fprintf(stderr,
+                 "warning: --migrate with --shards 1 is a no-op (nothing to migrate); "
+                 "pass --shards N>1 to enable epoch ownership\n");
   }
   return flags;
 }

@@ -116,6 +116,19 @@ struct AblationShards {
   std::vector<std::vector<double>> contended_pct;
 };
 
+struct AblationChurn {
+  std::vector<uint32_t> shard_counts;
+  std::vector<std::string> workloads;
+  // [workload][shard-count], static ownership vs epoch migration
+  // (Config::migrate). The epoch column's one-time publish charges are
+  // counted in `migrations` (owner changes across the whole run).
+  std::vector<std::vector<double>> static_overhead_pct;
+  std::vector<std::vector<double>> epoch_overhead_pct;
+  std::vector<std::vector<double>> static_contended_pct;
+  std::vector<std::vector<double>> epoch_contended_pct;
+  std::vector<std::vector<uint64_t>> migrations;
+};
+
 // ---------------------------------------------------------------------------
 // JSON emission. Percents use %.3f like the standalone binaries.
 
@@ -257,6 +270,7 @@ int main(int argc, char** argv) {
                                                        {"sfi", sfi}};
   }();
   std::vector<MeasureCell> iso_cells;
+  iso_cells.reserve(spec.size() * iso_variants.size());
   for (size_t wi = 0; wi < spec.size(); ++wi) {
     for (const auto& [name, config] : iso_variants) {
       MeasureCell cell;
@@ -283,6 +297,7 @@ int main(int argc, char** argv) {
 
   Stopwatch mpx_watch;
   std::vector<MeasureCell> mpx_cells;
+  mpx_cells.reserve(spec.size());
   for (size_t wi = 0; wi < spec.size(); ++wi) {
     MeasureCell cell;
     cell.workload = wi;
@@ -311,6 +326,7 @@ int main(int argc, char** argv) {
   const std::vector<StoreKind> stores = {StoreKind::kHash, StoreKind::kTwoLevel,
                                          StoreKind::kArray};
   std::vector<MeasureCell> mem_cells;
+  mem_cells.reserve(stores.size() * spec.size() * overhead_protections.size());
   for (StoreKind store : stores) {
     for (size_t wi = 0; wi < spec.size(); ++wi) {
       for (Protection p : overhead_protections) {
@@ -415,6 +431,7 @@ int main(int argc, char** argv) {
   }
   std::vector<MeasureCell> shard_cells;
   const size_t shard_stride = 1 + shard_counts.size();
+  shard_cells.reserve(shard_workloads.size() * shard_stride);
   for (size_t wi = 0; wi < shard_workloads.size(); ++wi) {
     MeasureCell vanilla;
     vanilla.workload = wi;
@@ -455,6 +472,91 @@ int main(int argc, char** argv) {
     shard_ablation.contended_pct.push_back(std::move(contended));
   }
   table_wall_ms["ablation_shards"] = shards_watch.Ms();
+
+  // -------------------------------------------------------------------------
+  // ablation_churn: static vs epoch-versioned shard ownership. The churn
+  // server retires and respawns its worker pool so connection cells outlive
+  // the generation that allocated them; the event-loop and concurrent
+  // scenarios ride along (their builds are shared with ablation_shards) to
+  // show migration never charges more than the static table. Per shard
+  // count the sweep runs a static and an epoch (Config::migrate) CPI cell
+  // and cross-checks: identical safe-store op counts, epoch contended ops
+  // <= static, and zero migrations with the flag off.
+  Stopwatch churn_watch;
+  const auto& churn_only = cpi::workloads::ChurnServer();
+  const auto churn_built =
+      cpi::workloads::BuildWorkloads(churn_only, flags.scale, flags.jobs);
+  std::vector<Workload> churn_workloads = churn_only;
+  std::vector<const cpi::ir::Module*> churn_views =
+      cpi::workloads::ModuleViews(churn_built);
+  churn_workloads.reserve(churn_only.size() + shard_workloads.size());
+  churn_views.reserve(churn_only.size() + shard_workloads.size());
+  for (size_t wi = 0; wi < shard_workloads.size(); ++wi) {
+    churn_workloads.push_back(shard_workloads[wi]);
+    churn_views.push_back(shard_views[wi]);
+  }
+  std::vector<MeasureCell> churn_cells;
+  const size_t churn_stride = 1 + 2 * shard_counts.size();
+  churn_cells.reserve(churn_workloads.size() * churn_stride);
+  for (size_t wi = 0; wi < churn_workloads.size(); ++wi) {
+    MeasureCell vanilla;
+    vanilla.workload = wi;
+    vanilla.config = engine_base;
+    churn_cells.push_back(vanilla);
+    for (uint32_t shards : shard_counts) {
+      for (bool migrate : {false, true}) {
+        MeasureCell cell;
+        cell.workload = wi;
+        cell.config = engine_base;
+        cell.config.protection = Protection::kCpi;
+        cell.config.shards = shards;
+        cell.config.migrate = migrate;
+        churn_cells.push_back(cell);
+      }
+    }
+  }
+  const auto churn_results =
+      cpi::workloads::RunCells(churn_workloads, churn_views, churn_cells, flags.jobs);
+
+  AblationChurn churn_ablation;
+  churn_ablation.shard_counts = shard_counts;
+  for (size_t wi = 0; wi < churn_workloads.size(); ++wi) {
+    const CellResult& base = churn_results[wi * churn_stride];
+    CPI_CHECK(base.status == cpi::vm::RunStatus::kOk);
+    churn_ablation.workloads.push_back(churn_workloads[wi].name);
+    std::vector<double> st_over, ep_over, st_cont, ep_cont;
+    std::vector<uint64_t> migrations;
+    for (size_t si = 0; si < shard_counts.size(); ++si) {
+      const CellResult& st = churn_results[wi * churn_stride + 1 + 2 * si];
+      const CellResult& ep = churn_results[wi * churn_stride + 2 + 2 * si];
+      CPI_CHECK(st.status == cpi::vm::RunStatus::kOk);
+      CPI_CHECK(ep.status == cpi::vm::RunStatus::kOk);
+      CPI_CHECK(st.safe_store_ops == churn_results[wi * churn_stride + 1].safe_store_ops);
+      CPI_CHECK(ep.safe_store_ops == st.safe_store_ops);
+      CPI_CHECK(ep.store_contended_ops <= st.store_contended_ops);
+      CPI_CHECK(st.shard_migrations == 0);
+      const double base_cycles = static_cast<double>(base.cycles);
+      const auto contended_share = [](const CellResult& r) {
+        return r.safe_store_ops == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(r.store_contended_ops) /
+                         static_cast<double>(r.safe_store_ops);
+      };
+      st_over.push_back(
+          cpi::OverheadPercent(static_cast<double>(st.cycles), base_cycles));
+      ep_over.push_back(
+          cpi::OverheadPercent(static_cast<double>(ep.cycles), base_cycles));
+      st_cont.push_back(contended_share(st));
+      ep_cont.push_back(contended_share(ep));
+      migrations.push_back(ep.shard_migrations);
+    }
+    churn_ablation.static_overhead_pct.push_back(std::move(st_over));
+    churn_ablation.epoch_overhead_pct.push_back(std::move(ep_over));
+    churn_ablation.static_contended_pct.push_back(std::move(st_cont));
+    churn_ablation.epoch_contended_pct.push_back(std::move(ep_cont));
+    churn_ablation.migrations.push_back(std::move(migrations));
+  }
+  table_wall_ms["ablation_churn"] = churn_watch.Ms();
 
   // -------------------------------------------------------------------------
   // §5.1 RIPE matrix (one row per registry RipeRow) and Fig. 5 (defense
@@ -587,6 +689,7 @@ int main(int argc, char** argv) {
     Stopwatch opt_watch;
     std::vector<MeasureCell> opt_cells;
     const size_t opt_stride = 1 + overhead_protections.size();
+    opt_cells.reserve(spec.size() * opt_stride);
     for (size_t wi = 0; wi < spec.size(); ++wi) {
       MeasureCell vanilla;
       vanilla.workload = wi;
@@ -848,6 +951,61 @@ int main(int argc, char** argv) {
     }
     std::printf("}}}");
 
+    std::printf(",\"ablation_churn\":{\"shard_counts\":[");
+    for (size_t si = 0; si < churn_ablation.shard_counts.size(); ++si) {
+      std::printf("%s%u", si == 0 ? "" : ",", churn_ablation.shard_counts[si]);
+    }
+    std::printf("],\"rows\":[");
+    const auto print_churn_map = [&](const char* key,
+                                     const std::vector<double>& vals) {
+      std::printf("\"%s\":{", key);
+      for (size_t si = 0; si < churn_ablation.shard_counts.size(); ++si) {
+        std::printf("%s\"%u\":%.3f", si == 0 ? "" : ",",
+                    churn_ablation.shard_counts[si], vals[si]);
+      }
+      std::printf("}");
+    };
+    for (size_t wi = 0; wi < churn_ablation.workloads.size(); ++wi) {
+      std::printf("%s{\"workload\":\"%s\",", wi == 0 ? "" : ",",
+                  churn_ablation.workloads[wi].c_str());
+      print_churn_map("static_overhead_pct", churn_ablation.static_overhead_pct[wi]);
+      std::printf(",");
+      print_churn_map("epoch_overhead_pct", churn_ablation.epoch_overhead_pct[wi]);
+      std::printf(",");
+      print_churn_map("static_contended_pct", churn_ablation.static_contended_pct[wi]);
+      std::printf(",");
+      print_churn_map("epoch_contended_pct", churn_ablation.epoch_contended_pct[wi]);
+      std::printf(",\"migrations\":{");
+      for (size_t si = 0; si < churn_ablation.shard_counts.size(); ++si) {
+        std::printf("%s\"%u\":%llu", si == 0 ? "" : ",",
+                    churn_ablation.shard_counts[si],
+                    static_cast<unsigned long long>(churn_ablation.migrations[wi][si]));
+      }
+      std::printf("}}");
+    }
+    std::printf("],\"average\":{");
+    const auto churn_column_mean = [&churn_ablation](
+        const std::vector<std::vector<double>>& rows, size_t si) {
+      std::vector<double> col;
+      for (size_t wi = 0; wi < churn_ablation.workloads.size(); ++wi) {
+        col.push_back(rows[wi][si]);
+      }
+      return cpi::Mean(col);
+    };
+    const auto print_churn_avg = [&](const char* key,
+                                     const std::vector<std::vector<double>>& rows) {
+      std::printf("\"%s\":{", key);
+      for (size_t si = 0; si < churn_ablation.shard_counts.size(); ++si) {
+        std::printf("%s\"%u\":%.3f", si == 0 ? "" : ",",
+                    churn_ablation.shard_counts[si], churn_column_mean(rows, si));
+      }
+      std::printf("}");
+    };
+    print_churn_avg("static_contended_pct", churn_ablation.static_contended_pct);
+    std::printf(",");
+    print_churn_avg("epoch_contended_pct", churn_ablation.epoch_contended_pct);
+    std::printf("}}");
+
     std::printf("}");  // closes "tables" — byte-identical across engines
 
     // Fusion statistics live OUTSIDE .tables: they describe the execution
@@ -1024,6 +1182,48 @@ int main(int argc, char** argv) {
     print_shard_table(shard_ablation.overhead_pct);
     std::printf("\nShare of safe-store ops paying the shard-crossing premium:\n\n");
     print_shard_table(shard_ablation.contended_pct);
+    std::printf("\n");
+  }
+
+  std::printf("Ablation — static vs epoch shard ownership (worker churn)\n\n");
+  {
+    std::vector<std::string> header = {"Benchmark"};
+    for (uint32_t shards : churn_ablation.shard_counts) {
+      header.push_back("S=" + std::to_string(shards) + " st");
+      header.push_back("S=" + std::to_string(shards) + " ep");
+    }
+    const auto print_churn_table = [&](const std::vector<std::vector<double>>& st,
+                                       const std::vector<std::vector<double>>& ep) {
+      Table t(header);
+      const size_t n_counts = churn_ablation.shard_counts.size();
+      for (size_t wi = 0; wi < churn_ablation.workloads.size(); ++wi) {
+        std::vector<std::string> row = {churn_ablation.workloads[wi]};
+        for (size_t si = 0; si < n_counts; ++si) {
+          row.push_back(Table::FormatPercent(st[wi][si]));
+          row.push_back(Table::FormatPercent(ep[wi][si]));
+        }
+        t.AddRow(row);
+      }
+      t.AddSeparator();
+      std::vector<std::string> avg = {"Average"};
+      for (size_t si = 0; si < n_counts; ++si) {
+        for (const auto* rows : {&st, &ep}) {
+          std::vector<double> col;
+          for (size_t wi = 0; wi < churn_ablation.workloads.size(); ++wi) {
+            col.push_back((*rows)[wi][si]);
+          }
+          avg.push_back(Table::FormatPercent(cpi::Mean(col)));
+        }
+      }
+      t.AddRow(avg);
+      t.Print();
+    };
+    std::printf("CPI overhead vs vanilla, static (st) vs epoch (ep) ownership:\n\n");
+    print_churn_table(churn_ablation.static_overhead_pct,
+                      churn_ablation.epoch_overhead_pct);
+    std::printf("\nShare of safe-store ops paying the shard-crossing premium:\n\n");
+    print_churn_table(churn_ablation.static_contended_pct,
+                      churn_ablation.epoch_contended_pct);
     std::printf("\n");
   }
 

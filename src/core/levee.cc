@@ -75,6 +75,7 @@ vm::RunResult Run(const ir::Module& module, const Config& config, const Input& i
   options.store = config.store;
   options.isolation = config.isolation;
   options.shards = config.shards;
+  options.migrate = config.migrate;
   options.mpx_assist = config.mpx_assist;
   options.engine =
       config.reference_interpreter ? vm::EngineKind::kReference : config.engine;

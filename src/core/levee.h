@@ -56,6 +56,12 @@ struct Config {
   // per-thread write-local shards and charge the modeled shard-crossing cost
   // instead. Behaviour is identical at any count (tests/shard_test.cc).
   uint32_t shards = 1;
+  // Epoch-based shard-ownership migration (vm::RunOptions::migrate). Off —
+  // the default every historical table is recorded at — keeps the static
+  // owner table; on (with shards > 1) the VM republishes ownership at every
+  // spawn/join boundary and gives readers the RCU-style epoch-local path
+  // (tests/epoch_test.cc; a no-op at shards == 1 or single-threaded).
+  bool migrate = false;
   bool debug_mode = false;          // §3.2.2 mirror-and-compare
   bool temporal = false;            // CETS-style temporal extension
   bool char_star_heuristic = true;  // §3.2.1

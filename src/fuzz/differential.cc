@@ -73,6 +73,8 @@ std::string DiffCounters(const vm::RunResult& a, const vm::RunResult& b) {
     out << "safe_store_ops " << x.safe_store_ops << " vs " << y.safe_store_ops;
   } else if (x.store_contended_ops != y.store_contended_ops) {
     out << "store_contended_ops " << x.store_contended_ops << " vs " << y.store_contended_ops;
+  } else if (x.shard_migrations != y.shard_migrations) {
+    out << "shard_migrations " << x.shard_migrations << " vs " << y.shard_migrations;
   } else if (x.seal_ops != y.seal_ops) {
     out << "seal_ops " << x.seal_ops << " vs " << y.seal_ops;
   } else if (x.checks != y.checks) {
@@ -261,6 +263,39 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
       if (!diff.empty()) {
         fail(CaseStatus::kDivergence, scheme + "/" + label, diff);
         return out;
+      }
+    }
+
+    // Epoch-migration cell: with ownership re-derived at every spawn/join
+    // boundary (Config::migrate), the engines must still agree at full
+    // counter identity — publish charges and shard_migrations included —
+    // and behaviour must match the flat oracle exactly.
+    {
+      core::Config ref = base_config(p);
+      ref.shards = 8;
+      ref.migrate = true;
+      ref.engine = vm::EngineKind::kReference;
+      core::Config fused = ref;
+      fused.engine = vm::EngineKind::kFused;
+      Cell cr = RunCell(plan, ref);
+      Cell cf = RunCell(plan, fused);
+      out.cells_run += 2;
+      if (!cr.ok || !cf.ok) {
+        fail(CaseStatus::kHostError, scheme + "/migrate",
+             !cr.ok ? cr.host_error : cf.host_error);
+        return out;
+      }
+      if (cr.result.status != vm::RunStatus::kOutOfFuel) {
+        std::string diff = DiffCounters(cr.result, cf.result);
+        if (diff.empty()) {
+          diff = DiffBehaviour(oracle.result, cr.result);
+        }
+        if (!diff.empty()) {
+          fail(CaseStatus::kDivergence, scheme + "/migrate", diff);
+          return out;
+        }
+      } else {
+        ++out.fuel_skips;
       }
     }
 

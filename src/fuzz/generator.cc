@@ -446,6 +446,24 @@ struct Builder {
         ++spawns_total;
         break;
       }
+      case kOpWorkerChurn: {
+        // Worker churn in one op: spawn the shared reader, join it, spawn a
+        // replacement, join that too. Under epoch migration every join
+        // retires the worker's home group and every spawn re-publishes
+        // ownership with the replacement inheriting the group — the server
+        // worker-pool pattern, exercised at fuzz scale. Both workers are
+        // fully reaped inside the op, so the outstanding set is unchanged.
+        if (shared_reader == nullptr || spawns_total + 2 > kMaxSpawnsTotal) {
+          EmitArith(op);
+          break;
+        }
+        for (int g = 0; g < 2; ++g) {
+          Value* tid = b.Spawn(shared_reader, {shared_cell});
+          FoldInto(g == 0 ? op.b : op.c, b.Join(tid));
+          ++spawns_total;
+        }
+        break;
+      }
       case kNumOpKinds:
         break;
     }
@@ -525,6 +543,7 @@ const char* OpKindName(OpKind k) {
     case kOpJoin: return "join";
     case kOpYield: return "yield";
     case kOpSpawnShared: return "spawn-shared";
+    case kOpWorkerChurn: return "worker-churn";
     case kNumOpKinds: break;
   }
   return "?";
@@ -567,6 +586,7 @@ Plan MakePlan(uint64_t seed, const GenOptions& options) {
     add(kOpJoin, 2);
     add(kOpYield, 1);
     add(kOpSpawnShared, 2);
+    add(kOpWorkerChurn, 2);
   }
 
   CPI_CHECK(options.min_ops >= 1 && options.max_ops >= options.min_ops);

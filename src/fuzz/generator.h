@@ -72,6 +72,9 @@ enum OpKind : uint8_t {
   kOpYield,         // end the current scheduling quantum
   kOpSpawnShared,   // spawn the shared-reader worker: cross-shard traffic
                     // (reads a main-homed code-pointer cell; race-free)
+  kOpWorkerChurn,   // spawn/join the shared reader twice back to back: the
+                    // replacement inherits the retiree's homes under epoch
+                    // ownership migration (Config::migrate)
   kNumOpKinds,
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <new>
 #include <unordered_map>
@@ -87,7 +88,8 @@ class Machine {
                                               &ShardOfAddress)
                    : nullptr),
         sealer_(runtime::DeriveSealKey(options.seed)),
-        shards_(std::max<uint32_t>(options.shards, 1)) {
+        shards_(std::max<uint32_t>(options.shards, 1)),
+        migrate_(options.migrate && std::max<uint32_t>(options.shards, 1) > 1) {
     // Static shard-ownership table: shard s is write-local to thread t when
     // t's home is the only one hashing to s; otherwise (including the
     // single-shard default, shared by construction) the shard is contended
@@ -99,6 +101,22 @@ class Machine {
         const uint32_t s = static_cast<uint32_t>(ShardHash(h) % shards_);
         shard_owner_[s] = shard_owner_[s] == -1 ? static_cast<int32_t>(h) : -2;
       }
+    }
+    if (migrate_) {
+      // Epoch 0: only the main thread has ever lived, so only its home is
+      // claimed — this is where the epoch model beats the static table,
+      // which must reserve every home slot for a thread that may never
+      // spawn. Until the first spawn publishes epoch 1 nothing is charged
+      // anyway (concurrent_ is false), which is what keeps single-threaded
+      // migrate-on runs byte-identical at every shard count.
+      for (uint64_t h = 0; h < kMaxThreads; ++h) {
+        home_owner_[h] = -1;
+      }
+      home_owner_[0] = 0;
+      EpochTable base;
+      base.owner = DeriveEpochOwners();
+      base.frozen.assign(shards_, 0);
+      epochs_.push_back(std::move(base));
     }
   }
 
@@ -157,6 +175,12 @@ class Machine {
     std::unordered_map<uint64_t, std::vector<uint64_t>> free_lists;  // size -> addrs
     ByteMemory safe_stack;
     CacheModel cache;
+    // Epoch-local ownership snapshot (RunOptions::migrate): index into
+    // epochs_, adopted at this thread's birth and at its *own* spawn/join
+    // ops only. A thread's contention charges are therefore a pure function
+    // of its own operation stream plus happens-before-ordered spawn/join
+    // events — never of how quanta interleaved the threads.
+    uint32_t epoch = 0;
   };
 
   // --- setup ---------------------------------------------------------------
@@ -482,20 +506,20 @@ class Machine {
     CPI_CHECK(store_ != nullptr);
     TouchList t;
     store_->Set(addr, entry, &t);
-    ChargeStoreTouches(addr, t);
+    ChargeStoreTouches(addr, t, /*is_read=*/false);
   }
   SafeEntry StoreGet(uint64_t addr) {
     CPI_CHECK(store_ != nullptr);
     TouchList t;
     SafeEntry e = store_->Get(addr, &t);
-    ChargeStoreTouches(addr, t);
+    ChargeStoreTouches(addr, t, /*is_read=*/true);
     return e;
   }
   void StoreClear(uint64_t addr) {
     CPI_CHECK(store_ != nullptr);
     TouchList t;
     store_->Clear(addr, &t);
-    ChargeStoreTouches(addr, t);
+    ChargeStoreTouches(addr, t, /*is_read=*/false);
   }
   // The shard-crossing rule (see OpCosts::sync): an access is contended
   // unless its key's shard is write-local to the executing thread. Reads pay
@@ -506,9 +530,25 @@ class Machine {
     return shard_owner_[ShardOfAddress(addr, shards_)] !=
            static_cast<int32_t>(cur_->tid);
   }
-  void ChargeStoreTouches(uint64_t addr, const TouchList& t) {
+  // Epoch variant (RunOptions::migrate): judged against the accessing
+  // thread's own epoch snapshot. Owned shards are free like the static
+  // model; additionally, *reads* of a shard its owner froze at a publish
+  // boundary are free — RCU's grace-period guarantee, the published data
+  // cannot change under a reader between its adoption points. Writes always
+  // pay unless the shard is owned: a writer must take the shard's lock no
+  // matter what snapshot it holds.
+  bool ShardContendedEpoch(uint64_t addr, bool is_read) const {
+    const EpochTable& e = epochs_[cur_->epoch];
+    const uint32_t s = ShardOfAddress(addr, shards_);
+    if (e.owner[s] == static_cast<int32_t>(cur_->tid)) {
+      return false;
+    }
+    return !(is_read && e.frozen[s]);
+  }
+  void ChargeStoreTouches(uint64_t addr, const TouchList& t, bool is_read) {
     ++result_.counters.safe_store_ops;
-    if (concurrent_ && ShardContended(addr)) {
+    if (concurrent_ && (migrate_ ? ShardContendedEpoch(addr, is_read)
+                                 : ShardContended(addr))) {
       ++result_.counters.store_contended_ops;
       Cycles(options_.costs.sync);
     }
@@ -521,13 +561,76 @@ class Machine {
   // whole transfer by its destination base address — a checked memcpy
   // publishes into one region, so one epoch/ownership validation covers the
   // batch (documented accounting rule; ranges almost never straddle homes).
+  // Bulk transfers mutate the destination shard, so under migration they are
+  // writes: the frozen-read exemption never applies.
   void ChargeBulkStoreOps(uint64_t dst_addr, uint64_t ops) {
     result_.counters.safe_store_ops += ops;
     Cycles(ops * 2);
-    if (concurrent_ && ShardContended(dst_addr)) {
+    if (concurrent_ && (migrate_ ? ShardContendedEpoch(dst_addr, /*is_read=*/false)
+                                 : ShardContended(dst_addr))) {
       result_.counters.store_contended_ops += ops;
       Cycles(ops * options_.costs.sync);
     }
+  }
+  // Re-derives shard ownership from the dynamic home→thread map and
+  // publishes it as a new epoch. Called only at spawn/join boundaries (the
+  // only points where the map changes), always by the thread executing the
+  // spawn/join — in every shipped workload and generated program that is a
+  // single coordinator thread, so the publish sequence is ordered by
+  // happens-before and charges stay engine/quantum-invariant. Each shard
+  // whose owner changed is a *migration*: it costs the publisher one
+  // OpCosts::sync (the release-store installing the new owner) and is
+  // counted in Counters::shard_migrations. Shards the publisher owns come
+  // out frozen — publish-then-spawn/join makes their current contents
+  // visible to every thread adopting this epoch, so reads need no sync
+  // until the owner changes again.
+  // Owner of each shard under the current home->thread claim map: the one
+  // thread owning every claimed home that hashes into the shard, -1 when no
+  // claimed home does (nobody has lived there), -2 when claimed homes of
+  // two different threads collide (genuinely shared). Unclaimed homes do
+  // not poison a shard — that is the whole advantage over the static
+  // table, which has to pessimise for all kMaxThreads possible homes.
+  std::vector<int32_t> DeriveEpochOwners() const {
+    std::vector<int32_t> owner(shards_, -1);
+    for (uint64_t h = 0; h < kMaxThreads; ++h) {
+      const int32_t o = home_owner_[h];
+      if (o < 0) {
+        continue;
+      }
+      const uint32_t s = static_cast<uint32_t>(ShardHash(h) % shards_);
+      if (owner[s] == -1) {
+        owner[s] = o;
+      } else if (owner[s] != o) {
+        owner[s] = -2;  // mixed ownership: shared
+      }
+    }
+    return owner;
+  }
+
+  void PublishEpoch() {
+    const EpochTable& prev = epochs_.back();
+    EpochTable next;
+    next.owner = DeriveEpochOwners();
+    next.frozen.assign(shards_, 0);
+    uint64_t migrated = 0;
+    for (uint32_t s = 0; s < shards_; ++s) {
+      if (next.owner[s] != prev.owner[s]) {
+        ++migrated;  // owner changed: any previous freeze is invalidated
+      } else {
+        next.frozen[s] = prev.frozen[s];
+      }
+      if (next.owner[s] >= 0 && next.owner[s] == static_cast<int32_t>(cur_->tid)) {
+        next.frozen[s] = 1;
+      }
+    }
+    if (migrated > 0) {
+      result_.counters.shard_migrations += migrated;
+      Cycles(migrated * options_.costs.sync);
+    }
+    if (next.owner != prev.owner || next.frozen != prev.frozen) {
+      epochs_.push_back(std::move(next));
+    }
+    cur_->epoch = static_cast<uint32_t>(epochs_.size() - 1);
   }
   void ChargeCheck() {
     ++result_.counters.checks;
@@ -589,6 +692,21 @@ class Machine {
   // collision / the single-shard default).
   const uint32_t shards_;
   std::vector<int32_t> shard_owner_;
+
+  // Epoch-based ownership migration (RunOptions::migrate, only armed when
+  // shards_ > 1). home_owner_[h] is the thread currently owning static home
+  // slot h; a completed join retires the target's slots as one FIFO group
+  // and the next spawn adopts the oldest group (worker-pool slot reuse).
+  // epochs_ holds every published owner/frozen table; threads index into it
+  // through their snapshot (ThreadContext::epoch).
+  struct EpochTable {
+    std::vector<int32_t> owner;
+    std::vector<uint8_t> frozen;
+  };
+  const bool migrate_;
+  int32_t home_owner_[kMaxThreads] = {};
+  std::deque<std::vector<uint8_t>> retired_homes_;
+  std::vector<EpochTable> epochs_;
 
   ProgramLayout layout_;  // flat per-ordinal address vectors
   std::unique_ptr<DecodedModule> decoded_;  // null when running the reference
@@ -1531,6 +1649,21 @@ void Machine::DoSpawn(Frame& f, const Function* callee, std::vector<uint64_t> ar
   Cycles(kSpawnCycles);
   ++result_.counters.thread_spawns;
   concurrent_ = true;
+  if (migrate_) {
+    // The new thread claims its own home slot (tids are never reused, so
+    // the slot is necessarily unclaimed) and inherits the oldest retired
+    // home group (the homes of the earliest joined-and-unclaimed thread,
+    // plus everything that thread had inherited in its turn), then the
+    // spawner publishes the new ownership epoch before the thread can run.
+    home_owner_[tid] = static_cast<int32_t>(tid);
+    if (!retired_homes_.empty()) {
+      for (uint8_t h : retired_homes_.front()) {
+        home_owner_[h] = static_cast<int32_t>(tid);
+      }
+      retired_homes_.pop_front();
+    }
+    PublishEpoch();
+  }
 
   threads_.push_back(std::make_unique<ThreadContext>(tid, options_.cache));
   ThreadContext* t = threads_.back().get();
@@ -1538,6 +1671,10 @@ void Machine::DoSpawn(Frame& f, const Function* callee, std::vector<uint64_t> ar
   t->safe_sp = SafeStackTopFor(tid) - 16;
   t->heap_next = arena_base;
   t->heap_limit = arena_base + kThreadHeapBytes;
+  // The new thread is born into the epoch its spawner just published (or
+  // epoch 0 with migration off) — the publish happened-before the thread
+  // exists, so the snapshot adoption is race-free by construction.
+  t->epoch = cur_->epoch;
   // Thread 0 grows upward from kHeapBase; cap it below the lowest arena so
   // the regions can never interleave.
   threads_[0]->heap_limit = std::min(threads_[0]->heap_limit, arena_base);
@@ -1584,6 +1721,24 @@ void Machine::DoJoin(Frame& f, uint64_t tid, uint32_t dest) {
   }
   target.reaped = true;
   Cycles(kJoinCycles);
+  if (migrate_) {
+    // Retire the joined thread's home slots as one FIFO group — the next
+    // spawn inherits them wholesale — and publish the new epoch. This runs
+    // only on the *completed* join path: the blocking path above rolled its
+    // charge back and re-executes, so the publish (and its migration
+    // charges) happens exactly once per join regardless of waiting.
+    std::vector<uint8_t> group;
+    for (uint64_t h = 0; h < kMaxThreads; ++h) {
+      if (home_owner_[h] == static_cast<int32_t>(tid)) {
+        group.push_back(static_cast<uint8_t>(h));
+        home_owner_[h] = -1;
+      }
+    }
+    if (!group.empty()) {
+      retired_homes_.push_back(std::move(group));
+    }
+    PublishEpoch();
+  }
   SetRegId(f, dest, target.exit_value, target.exit_meta);
   ++f.ip;
 }

@@ -96,6 +96,19 @@ struct RunOptions {
   // per-op entry state) is identical at any count; cycles/cache/memory
   // legitimately vary with it (bench/ablation_shards sweeps it).
   uint32_t shards = 1;
+  // Epoch-based shard-ownership migration. When false (the default) the
+  // owner table is the static one precomputed from the layout — the PR 8
+  // model, byte for byte. When true (and shards > 1), the machine re-derives
+  // shard ownership at every spawn/join boundary, publishes it as a new
+  // epoch (charging OpCosts::sync once per *migrated* shard to the
+  // publishing thread, counted in Counters::shard_migrations), and gives
+  // readers an RCU-style path: a thread consults the owner snapshot it
+  // adopted at its own birth/spawn/join, pays nothing on shards it owns in
+  // that epoch, and pays nothing on *reads* of shards the publisher froze
+  // at the boundary (publish-then-spawn makes the data visible without
+  // sync). Single-threaded runs never publish, so they are byte-identical
+  // to migrate=false at every shard count.
+  bool migrate = false;
   OpCosts costs;
   // Scheduling quantum of the deterministic round-robin thread scheduler:
   // how many instructions a runnable thread executes before the next one
@@ -121,6 +134,10 @@ struct Counters {
   // Safe-store ops that paid the shard-crossing sync premium (0 while
   // single-threaded; == safe_store_ops-after-first-spawn at shard count 1).
   uint64_t store_contended_ops = 0;
+  // Shards whose owner changed at an epoch publish (RunOptions::migrate;
+  // each one charged OpCosts::sync once to the publishing thread). Always 0
+  // with migration off or single-threaded.
+  uint64_t shard_migrations = 0;
   uint64_t seal_ops = 0;  // PtrEnc sign/authenticate operations
   uint64_t checks = 0;
   uint64_t calls = 0;

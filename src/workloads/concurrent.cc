@@ -532,11 +532,240 @@ std::unique_ptr<Module> BuildEventLoop(int scale) {
   return m;
 }
 
+// --- epoll-style event loop with worker churn ---------------------------------
+// The "millions of users" shape driving the epoch-ownership model
+// (Config::migrate): a fixed pool of worker *slots* whose threads retire and
+// respawn across generations, serving thousands of keep-alive connections
+// that outlive the thread that accepted them. Generation 0's workers accept
+// the population into their own heap arenas and publish the cells through a
+// shared connection table; each later generation's worker inherits its
+// predecessor's home slots at the spawn/join boundary and keeps serving the
+// same cells — accesses the static owner table charges as cross-thread
+// forever, but that the epoch model re-homes after one migration. Requests
+// flow through a bounded per-slot handoff queue with backpressure (overflow
+// is counted and folded into the checksum, so dropping is observable
+// behaviour), are served in batches, and a little keep-alive churn replaces
+// cells with fresh ones from the serving thread's own arena. Main drains and
+// closes everything at the end. Race-free by construction: generations are
+// joined before their successors spawn, and concurrent workers touch
+// disjoint table/queue regions.
+std::unique_ptr<Module> BuildChurnServer(int scale) {
+  auto m = std::make_unique<Module>("server.mt-epoll-churn");
+  auto& t = m->types();
+  IRBuilder b(m.get());
+  GlobalVariable* checksum = MakeChecksumGlobal(*m);
+
+  constexpr uint64_t kSlots = 3;       // worker-pool slots (concurrent threads)
+  constexpr uint64_t kGens = 5;        // generations: kSlots*kGens spawns + main
+                                       // == vm::kMaxThreads, tids never recycled
+  constexpr uint64_t kConns = 384;     // per slot: 1152 keep-alive connections
+  constexpr uint64_t kBatch = 48;      // requests produced per epoch
+  constexpr uint64_t kQueueCap = 32;   // handoff-queue capacity (< kBatch:
+                                       // every epoch exercises backpressure)
+  constexpr uint64_t kChurn = 6;       // closes + fresh accepts per epoch
+  const uint64_t epochs = 2 * static_cast<uint64_t>(scale);
+
+  const ir::FunctionType* handler_ty =
+      t.FunctionTy(t.I64(), {t.PointerTo(t.CharTy()), t.I64()});
+  StructType* conn = t.GetOrCreateStruct("churn_conn");
+  conn->SetBody({{"handler", t.PointerTo(handler_ty), 0},
+                 {"state", t.I64(), 0},
+                 {"reqs", t.I64(), 0}});
+
+  const uint64_t n_handlers = 4;
+  GlobalVariable* handlers = m->CreateGlobal(
+      "churn_handlers", t.ArrayOf(t.PointerTo(handler_ty), n_handlers));
+  // The shared connection-cell table: cells are allocated in worker arenas
+  // but *published* here, so they survive their accepting thread.
+  GlobalVariable* conn_table =
+      m->CreateGlobal("conn_table", t.ArrayOf(t.PointerTo(conn), kSlots * kConns));
+  // Per-slot bounded handoff queues (plain request tokens in regular
+  // memory — the queue models the event-loop → worker-pool handoff, not
+  // safe-region traffic).
+  GlobalVariable* handoff =
+      m->CreateGlobal("handoff", t.ArrayOf(t.I64(), kSlots * kQueueCap));
+
+  std::vector<Function*> hfns;
+  hfns.reserve(n_handlers);
+  for (uint64_t k = 0; k < n_handlers; ++k) {
+    Function* h = m->CreateFunction("churn_handler_" + std::to_string(k), handler_ty);
+    b.SetInsertPoint(h->CreateBlock("entry"));
+    Value* buf = h->arg(0);
+    Value* req = h->arg(1);
+    Value* i_slot = b.Alloca(t.I64(), "i");
+    LoopBlocks body = BeginLoop(b, h, i_slot, b.I64(0), b.I64(16), "fmt");
+    Value* c = b.Binary(ir::BinOp::kAnd,
+                        b.Add(b.Mul(body.index, b.I64(2 * k + 5)), req), b.I64(63));
+    b.Store(b.Cast(ir::CastKind::kTrunc, b.Add(c, b.I64('0')), t.CharTy()),
+            b.IndexAddr(buf, body.index));
+    EndLoop(b, body);
+    b.Store(b.Char(0), b.IndexAddr(buf, b.I64(16)));
+    b.Ret(b.LibCall(ir::LibFunc::kStrlen, {buf}));
+    hfns.push_back(h);
+  }
+
+  // accept(idx, which, state): install a fresh connection (allocated in the
+  // *calling* thread's arena, handler from the shared table) into the shared
+  // cell table at idx.
+  Function* accept_fn = m->CreateFunction(
+      "churn_accept", t.FunctionTy(t.VoidTy(), {t.I64(), t.I64(), t.I64()}));
+  {
+    b.SetInsertPoint(accept_fn->CreateBlock("entry"));
+    Value* idx = accept_fn->arg(0);
+    Value* which = accept_fn->arg(1);
+    Value* state = accept_fn->arg(2);
+    Value* fresh = b.Malloc(b.I64(conn->SizeInBytes()), t.PointerTo(conn), "conn");
+    Value* h = b.Load(b.IndexAddr(b.GlobalAddr(handlers),
+                                  b.Binary(ir::BinOp::kAnd, which, b.I64(n_handlers - 1))));
+    b.Store(h, b.FieldAddr(fresh, "handler"));
+    b.Store(state, b.FieldAddr(fresh, "state"));
+    b.Store(b.I64(0), b.FieldAddr(fresh, "reqs"));
+    b.Store(fresh, b.IndexAddr(b.GlobalAddr(conn_table), idx));
+    b.Ret();
+  }
+
+  // worker(slot, gen): generation 0 accepts the slot's population; every
+  // generation serves it through the handoff queue, churns a few cells into
+  // its own arena, and returns its partial checksum (including the drop
+  // count — backpressure is part of the observable behaviour).
+  Function* worker = m->CreateFunction("worker", t.FunctionTy(t.I64(), {t.I64(), t.I64()}));
+  {
+    b.SetInsertPoint(worker->CreateBlock("entry"));
+    Value* slot = worker->arg(0);
+    Value* gen = worker->arg(1);
+    Value* i_slot = b.Alloca(t.I64(), "i");
+    Value* e_slot = b.Alloca(t.I64(), "epoch");
+    Value* q_slot = b.Alloca(t.I64(), "q");
+    Value* d_slot = b.Alloca(t.I64(), "d");
+    Value* c_slot = b.Alloca(t.I64(), "c");
+    Value* acc_slot = b.Alloca(t.I64(), "acc");
+    Value* drops_slot = b.Alloca(t.I64(), "drops");
+    b.Store(b.Add(slot, b.Mul(gen, b.I64(kSlots))), acc_slot);
+    b.Store(b.I64(0), drops_slot);
+    Value* resp = b.Malloc(b.I64(64), t.PointerTo(t.CharTy()), "resp");
+    Value* base = b.Mul(slot, b.I64(kConns));
+    Value* qbase = b.Mul(slot, b.I64(kQueueCap));
+
+    ir::BasicBlock* boot = worker->CreateBlock("boot");
+    ir::BasicBlock* serve = worker->CreateBlock("serve");
+    b.CondBr(b.ICmpEq(gen, b.I64(0)), boot, serve);
+
+    // Generation 0 only: accept the slot's keep-alive population.
+    b.SetInsertPoint(boot);
+    LoopBlocks init = BeginLoop(b, worker, i_slot, b.I64(0), b.I64(kConns), "init");
+    b.Call(accept_fn, {b.Add(base, init.index), b.Add(init.index, slot),
+                       b.Add(b.Mul(init.index, b.I64(7)), slot)});
+    EndLoop(b, init);
+    b.Br(serve);
+
+    b.SetInsertPoint(serve);
+    LoopBlocks ep = BeginLoop(b, worker, e_slot, b.I64(0), b.I64(epochs), "epoch");
+
+    // Produce a request batch into the bounded handoff queue. kBatch >
+    // kQueueCap, so the tail of every batch hits backpressure: rejected
+    // tokens overwrite the last queue word and are counted as drops.
+    LoopBlocks prod = BeginLoop(b, worker, q_slot, b.I64(0), b.I64(kBatch), "prod");
+    Value* token = b.Binary(
+        ir::BinOp::kAnd,
+        b.Add(b.Mul(prod.index, b.I64(5)),
+              b.Add(b.Mul(ep.index, b.I64(3)), b.Mul(gen, b.I64(11)))),
+        b.I64(kConns - 1));
+    Value* fits = b.ICmpSLt(prod.index, b.I64(kQueueCap));
+    Value* qidx = b.Select(fits, prod.index, b.I64(kQueueCap - 1));
+    b.Store(token, b.IndexAddr(b.GlobalAddr(handoff), b.Add(qbase, qidx)));
+    b.Store(b.Add(b.Load(drops_slot), b.Select(fits, b.I64(0), b.I64(1))),
+            drops_slot);
+    EndLoop(b, prod);
+
+    // Drain the queue: every accepted token dispatches one connection. On
+    // generations > 0 these cells live in a *predecessor's* arena — the
+    // accesses the epoch model re-homes to this thread and the static model
+    // keeps charging forever.
+    LoopBlocks drain = BeginLoop(b, worker, d_slot, b.I64(0), b.I64(kQueueCap), "drain");
+    Value* req = b.Load(b.IndexAddr(b.GlobalAddr(handoff), b.Add(qbase, drain.index)));
+    Value* cptr = b.Load(b.IndexAddr(b.GlobalAddr(conn_table), b.Add(base, req)));
+    Value* h = b.Load(b.FieldAddr(cptr, "handler"));
+    Value* state = b.Load(b.FieldAddr(cptr, "state"));
+    Value* len = b.IndirectCall(h, {resp, b.Add(state, drain.index)});
+    b.Store(b.Add(b.Mul(state, b.I64(31)), len), b.FieldAddr(cptr, "state"));
+    b.Store(b.Add(b.Load(b.FieldAddr(cptr, "reqs")), b.I64(1)),
+            b.FieldAddr(cptr, "reqs"));
+    b.Store(b.Add(b.Mul(b.Load(acc_slot), b.I64(31)), len), acc_slot);
+    EndLoop(b, drain);
+
+    // Keep-alive churn: close a few connections and accept replacements in
+    // this thread's own arena — cells genuinely change homes across
+    // generations.
+    LoopBlocks churn = BeginLoop(b, worker, c_slot, b.I64(0), b.I64(kChurn), "churn");
+    Value* victim = b.Binary(
+        ir::BinOp::kAnd,
+        b.Add(b.Mul(churn.index, b.I64(13)),
+              b.Add(b.Mul(ep.index, b.I64(7)), b.Mul(gen, b.I64(3)))),
+        b.I64(kConns - 1));
+    Value* vidx = b.Add(base, victim);
+    b.Free(b.Load(b.IndexAddr(b.GlobalAddr(conn_table), vidx)));
+    b.Call(accept_fn, {vidx, b.Add(victim, b.Add(gen, ep.index)),
+                       b.Add(b.Mul(ep.index, b.I64(13)), victim)});
+    EndLoop(b, churn);
+    b.Yield();
+    EndLoop(b, ep);
+
+    b.Free(resp);
+    b.Ret(b.Add(b.Mul(b.Load(acc_slot), b.I64(31)), b.Load(drops_slot)));
+  }
+
+  // Main: register handlers, run the worker-slot pool through kGens
+  // generations (join generation g before spawning g+1 — the spawn/join
+  // boundary where home slots are inherited and epochs publish), then drain
+  // the surviving population.
+  Function* main = m->CreateFunction("main", t.FunctionTy(t.I64(), {}));
+  b.SetInsertPoint(main->CreateBlock("entry"));
+  Value* i_slot = b.Alloca(t.I64(), "i");
+
+  LoopBlocks reg = BeginLoop(b, main, i_slot, b.I64(0), b.I64(n_handlers), "reg");
+  Value* which = b.Binary(ir::BinOp::kAnd, reg.index, b.I64(3));
+  Value* h01 = b.Select(b.ICmpEq(which, b.I64(0)), b.FuncAddr(hfns[0]),
+                        b.FuncAddr(hfns[1]));
+  Value* h23 = b.Select(b.ICmpEq(which, b.I64(2)), b.FuncAddr(hfns[2]),
+                        b.FuncAddr(hfns[3]));
+  Value* h = b.Select(b.ICmpSLt(which, b.I64(2)), h01, h23);
+  b.Store(h, b.IndexAddr(b.GlobalAddr(handlers), reg.index));
+  EndLoop(b, reg);
+
+  for (uint64_t g = 0; g < kGens; ++g) {
+    std::vector<Value*> tids;
+    tids.reserve(kSlots);
+    for (uint64_t w = 0; w < kSlots; ++w) {
+      tids.push_back(b.Spawn(worker, {b.I64(w), b.I64(g)},
+                             "g" + std::to_string(g) + "w" + std::to_string(w)));
+    }
+    for (Value* tid : tids) {
+      AccumulateChecksum(b, checksum, b.Join(tid));
+    }
+  }
+
+  LoopBlocks fin = BeginLoop(b, main, i_slot, b.I64(0), b.I64(kSlots * kConns), "fin");
+  Value* cptr = b.Load(b.IndexAddr(b.GlobalAddr(conn_table), fin.index));
+  AccumulateChecksum(b, checksum, b.Load(b.FieldAddr(cptr, "state")));
+  b.Free(cptr);
+  EndLoop(b, fin);
+
+  EmitChecksumAndRet(b, checksum);
+  return m;
+}
+
 }  // namespace
 
 const std::vector<Workload>& EventLoop() {
   static const std::vector<Workload>* workloads = new std::vector<Workload>{
       {"mt-event-loop", "C", BuildEventLoop, {}},
+  };
+  return *workloads;
+}
+
+const std::vector<Workload>& ChurnServer() {
+  static const std::vector<Workload>* workloads = new std::vector<Workload>{
+      {"mt-epoll-churn", "C", BuildChurnServer, {}},
   };
   return *workloads;
 }

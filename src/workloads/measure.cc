@@ -53,6 +53,7 @@ CellResult RunCell(const ir::Module& built, const Workload& workload,
   out.safe_store_bytes = r.memory.safe_store_bytes;
   out.safe_store_ops = r.counters.safe_store_ops;
   out.store_contended_ops = r.counters.store_contended_ops;
+  out.shard_migrations = r.counters.shard_migrations;
   out.stats = co.stats;
   return out;
 }

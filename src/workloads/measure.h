@@ -67,6 +67,9 @@ struct CellResult {
   // ablation's contention metric; == safe_store_ops after the first spawn
   // at the default shard count of 1).
   uint64_t store_contended_ops = 0;
+  // Shards whose owner changed at an epoch publish (Config::migrate; 0 with
+  // migration off).
+  uint64_t shard_migrations = 0;
   analysis::ModuleStats stats;    // static stats under the cell's config
 };
 

@@ -442,7 +442,8 @@ const std::vector<Workload>& WebServer() {
 
 const Workload* FindWorkload(const std::string& name) {
   for (const auto* list :
-       {&SpecCpu2006(), &Phoronix(), &WebServer(), &ConcurrentServer(), &EventLoop()}) {
+       {&SpecCpu2006(), &Phoronix(), &WebServer(), &ConcurrentServer(), &EventLoop(),
+        &ChurnServer()}) {
     for (const Workload& w : *list) {
       if (w.name == name) {
         return &w;

@@ -53,6 +53,16 @@ const std::vector<Workload>& ConcurrentServer();
 // is untouched.
 const std::vector<Workload>& EventLoop();
 
+// The event loop scaled to connection churn across a retiring/respawning
+// worker pool: thousands of keep-alive connections published through a
+// shared cell table, a bounded per-slot handoff queue with backpressure,
+// request batching, and worker generations that inherit their predecessors'
+// connection cells — the workload where epoch-based shard-ownership
+// migration (Config::migrate) pays and static ownership cannot. Drives
+// bench/ablation_churn; kept out of EventLoop()/ConcurrentServer() so the
+// recorded ablation_shards and table4_concurrent baselines are untouched.
+const std::vector<Workload>& ChurnServer();
+
 const Workload* FindWorkload(const std::string& name);
 
 }  // namespace cpi::workloads

@@ -26,6 +26,32 @@ TEST(BenchFlagsTest, KnownFlagsParse) {
   EXPECT_EQ(flags.opt, 1);
 }
 
+TEST(BenchFlagsTest, MigrateFlagParsesAndReachesConfig) {
+  char a0[] = "bench";
+  char a1[] = "--shards";
+  char a2[] = "8";
+  char a3[] = "--migrate";
+  char* argv[] = {a0, a1, a2, a3};
+  const Flags flags = Parse(4, argv);
+  EXPECT_EQ(flags.shards, 8u);
+  EXPECT_TRUE(flags.migrate);
+  const core::Config config = BaseConfig(flags);
+  EXPECT_EQ(config.shards, 8u);
+  EXPECT_TRUE(config.migrate);
+}
+
+TEST(BenchFlagsTest, MigrateWithOneShardWarnsButParses) {
+  char a0[] = "bench";
+  char a1[] = "--migrate";
+  char* argv[] = {a0, a1};
+  testing::internal::CaptureStderr();
+  const Flags flags = Parse(2, argv);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(flags.migrate);
+  EXPECT_EQ(flags.shards, 1u);
+  EXPECT_NE(err.find("no-op"), std::string::npos) << err;
+}
+
 TEST(BenchFlagsDeathTest, UnknownArgumentExitsNonZero) {
   char a0[] = "bench";
   char a1[] = "--job";  // the motivating typo
