@@ -22,14 +22,23 @@
 //                under). Only meaningful with --shards > 1: ownership then
 //                republishes at spawn/join boundaries and readers take the
 //                RCU-style epoch path (see bench/ablation_churn).
+//   --scheme S   a registered scheme name ("cpi") or a composite spec
+//                ("ptrenc+safestack") resolved through
+//                core::SchemeRegistry::FindOrRegisterComposite. Unknown
+//                components and write-conflicting stacks fail with usage +
+//                exit 2, like any other bad argument. Drivers that sweep the
+//                registry ignore it; drivers that evaluate one configuration
+//                (e.g. bench/ripe_effectiveness) consume Flags::scheme.
 #ifndef CPI_BENCH_FLAGS_H_
 #define CPI_BENCH_FLAGS_H_
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "src/core/levee.h"
+#include "src/core/scheme.h"
 #include "src/support/pool.h"
 
 namespace cpi::bench {
@@ -43,6 +52,12 @@ struct Flags {
   vm::EngineKind engine = vm::EngineKind::kFused;  // core::Config::engine
   uint32_t shards = 1;   // core::Config::shards for the measured cells
   bool migrate = false;  // core::Config::migrate for the measured cells
+  // Resolved --scheme selection (nullptr: not given). Deliberately NOT
+  // applied by BaseConfig: Config::scheme overrides Config::protection, so
+  // auto-applying it would silently pin every cell of a registry-sweeping
+  // driver to one scheme. Drivers opt in where a single-scheme evaluation
+  // makes sense.
+  const core::ProtectionScheme* scheme = nullptr;
 };
 
 // The Config every measured cell starts from under these flags.
@@ -58,7 +73,8 @@ inline core::Config BaseConfig(const Flags& flags) {
 inline void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--json] [--time] [--scale N|small] [--jobs N] [--opt N] "
-               "[--engine fused|decoded|reference] [--shards N] [--migrate]\n",
+               "[--engine fused|decoded|reference] [--shards N] [--migrate] "
+               "[--scheme NAME[+NAME...]]\n",
                argv0);
 }
 
@@ -97,6 +113,15 @@ inline Flags Parse(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--migrate") == 0) {
       flags.migrate = true;
+    } else if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
+      ++i;
+      std::string error;
+      flags.scheme = core::SchemeRegistry::FindOrRegisterComposite(argv[i], &error);
+      if (flags.scheme == nullptr) {
+        std::fprintf(stderr, "bad --scheme: %s\n", error.c_str());
+        PrintUsage(argv[0]);
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       ++i;
       if (std::strcmp(argv[i], "fused") == 0) {

@@ -26,10 +26,20 @@ int main(int argc, char** argv) {
   const auto specs = cpi::attacks::GenerateAttackMatrix();
   std::printf("RIPE-style attack matrix: %zu attack combinations\n\n", specs.size());
 
+  // --scheme evaluates one (possibly composite) scheme against the vanilla
+  // row; the default sweeps every registry ripe_row.
+  std::vector<const ProtectionScheme*> rows;
+  if (flags.scheme != nullptr) {
+    rows = {&cpi::core::SchemeRegistry::Get(Protection::kNone), flags.scheme};
+  } else {
+    rows = cpi::core::SchemeRegistry::RipeRows();
+  }
+
   cpi::Table table({"Protection", "Hijacked", "Prevented", "Crashed", "No effect"});
-  for (const ProtectionScheme* s : cpi::core::SchemeRegistry::RipeRows()) {
+  for (const ProtectionScheme* s : rows) {
     Config config = cpi::bench::BaseConfig(flags);
     config.protection = s->id();
+    config.scheme = s;
     int counts[4] = {0, 0, 0, 0};
     for (const auto& r : cpi::attacks::RunAttackMatrix(config, flags.jobs)) {
       ++counts[static_cast<int>(r.outcome)];

@@ -96,6 +96,20 @@ struct RipeRow {
   int counts[4] = {0, 0, 0, 0};  // AttackOutcome order
 };
 
+// One composite-table row (SchemeRegistry::CompositeTableRows): SPEC
+// overhead column plus both attack matrices, with the auth-abort count
+// (kPointerAuthFailure verdicts) broken out — the ret-chain schemes turn
+// ret-hijacks into exactly these.
+struct CompositeRow {
+  const ProtectionScheme* scheme = nullptr;
+  std::vector<double> overhead_pct;  // per SPEC workload
+  double avg_overhead_pct = 0;
+  RipeRow ripe;
+  RipeRow ripe_concurrent;
+  int ripe_auth_aborts = 0;
+  int ripec_auth_aborts = 0;
+};
+
 struct MemStoreRow {
   StoreKind store;
   std::map<Protection, double> median_overhead_pct;
@@ -678,6 +692,65 @@ int main(int argc, char** argv) {
   table_wall_ms["fig5_defense_matrix"] = fig5_watch.Ms();
 
   // -------------------------------------------------------------------------
+  // table_composites: the composable-scheme evaluation
+  // (SchemeRegistry::CompositeTableRows — ptrenc-ret-chain and the
+  // registered composites). Cells select by Config::scheme, since a
+  // composite has no Protection id of its own; overheads reuse the shared
+  // SPEC sweep's vanilla baselines, and both attack matrices run per row. A
+  // separate table so every frozen single-scheme table stays byte-identical
+  // (CI recovers the previous payload via del(.table_composites)).
+  Stopwatch comp_watch;
+  const auto composite_schemes = cpi::core::SchemeRegistry::CompositeTableRows();
+  std::vector<MeasureCell> comp_cells;
+  comp_cells.reserve(spec.size() * composite_schemes.size());
+  for (size_t wi = 0; wi < spec.size(); ++wi) {
+    for (const ProtectionScheme* s : composite_schemes) {
+      MeasureCell cell;
+      cell.workload = wi;
+      cell.config.protection = s->id();
+      cell.config.scheme = s;
+      cell.config.engine = flags.engine;
+      comp_cells.push_back(cell);
+    }
+  }
+  const auto comp_results = cpi::workloads::RunCells(spec, spec_views, comp_cells, flags.jobs);
+
+  std::vector<CompositeRow> composite_rows;
+  for (size_t si = 0; si < composite_schemes.size(); ++si) {
+    const ProtectionScheme* s = composite_schemes[si];
+    CompositeRow row;
+    row.scheme = s;
+    for (size_t wi = 0; wi < spec.size(); ++wi) {
+      const CellResult& r = comp_results[wi * composite_schemes.size() + si];
+      CPI_CHECK(r.status == cpi::vm::RunStatus::kOk);
+      row.overhead_pct.push_back(cpi::OverheadPercent(
+          static_cast<double>(r.cycles), static_cast<double>(spec_ms[wi].vanilla_cycles)));
+    }
+    row.avg_overhead_pct = cpi::Mean(row.overhead_pct);
+
+    Config config;
+    config.protection = s->id();
+    config.scheme = s;
+    config.engine = flags.engine;
+    row.ripe.scheme = s;
+    for (const auto& r : cpi::attacks::RunAttackMatrix(config, flags.jobs)) {
+      ++row.ripe.counts[static_cast<int>(r.outcome)];
+      if (r.violation == cpi::runtime::Violation::kPointerAuthFailure) {
+        ++row.ripe_auth_aborts;
+      }
+    }
+    row.ripe_concurrent.scheme = s;
+    for (const auto& r : cpi::attacks::RunCrossThreadMatrix(config, flags.jobs)) {
+      ++row.ripe_concurrent.counts[static_cast<int>(r.outcome)];
+      if (r.violation == cpi::runtime::Violation::kPointerAuthFailure) {
+        ++row.ripec_auth_aborts;
+      }
+    }
+    composite_rows.push_back(std::move(row));
+  }
+  table_wall_ms["table_composites"] = comp_watch.Ms();
+
+  // -------------------------------------------------------------------------
   // ablation_opt (--opt >= 1 only): per-scheme overhead with the
   // post-instrumentation optimizer off and on. The standard tables above
   // always run at O0 — they are the paper baselines and stay byte-identical
@@ -1006,6 +1079,35 @@ int main(int argc, char** argv) {
     print_churn_avg("epoch_contended_pct", churn_ablation.epoch_contended_pct);
     std::printf("}}");
 
+    std::printf(",\"table_composites\":{\"attacks\":%d,\"concurrent_attacks\":%d,"
+                "\"rows\":[",
+                ripe_attacks, ripe_concurrent_attacks);
+    const auto print_composite_ripe = [](const char* key, const RipeRow& r,
+                                         int auth_aborts) {
+      std::printf("\"%s\":{\"hijacked\":%d,\"prevented\":%d,\"crashed\":%d,"
+                  "\"no_effect\":%d,\"auth_aborts\":%d}",
+                  key, r.counts[0], r.counts[1], r.counts[2], r.counts[3],
+                  auth_aborts);
+    };
+    for (size_t ri = 0; ri < composite_rows.size(); ++ri) {
+      const CompositeRow& row = composite_rows[ri];
+      std::printf("%s{\"name\":\"%s\",\"mechanism\":\"%s\",", ri == 0 ? "" : ",",
+                  row.scheme->name(), row.scheme->description());
+      std::printf("\"avg_overhead_pct\":%.3f,\"overhead_pct\":{",
+                  row.avg_overhead_pct);
+      for (size_t wi = 0; wi < spec.size(); ++wi) {
+        std::printf("%s\"%s\":%.3f", wi == 0 ? "" : ",", spec[wi].name.c_str(),
+                    row.overhead_pct[wi]);
+      }
+      std::printf("},");
+      print_composite_ripe("ripe", row.ripe, row.ripe_auth_aborts);
+      std::printf(",");
+      print_composite_ripe("ripe_concurrent", row.ripe_concurrent,
+                           row.ripec_auth_aborts);
+      std::printf("}");
+    }
+    std::printf("]}");
+
     std::printf("}");  // closes "tables" — byte-identical across engines
 
     // Fusion statistics live OUTSIDE .tables: they describe the execution
@@ -1250,6 +1352,23 @@ int main(int argc, char** argv) {
     }
     t.Print();
     std::printf("\n");
+  }
+
+  std::printf("Composite schemes — stacked pipelines (overhead + both matrices)\n\n");
+  {
+    Table t({"Scheme", "Avg overhead", "RIPE hijacked", "RIPE auth-aborts",
+             "X-thread hijacked", "X-thread auth-aborts"});
+    for (const CompositeRow& row : composite_rows) {
+      t.AddRow({row.scheme->name(), Table::FormatPercent(row.avg_overhead_pct),
+                std::to_string(row.ripe.counts[0]) + "/" + std::to_string(ripe_attacks),
+                std::to_string(row.ripe_auth_aborts),
+                std::to_string(row.ripe_concurrent.counts[0]) + "/" +
+                    std::to_string(ripe_concurrent_attacks),
+                std::to_string(row.ripec_auth_aborts)});
+    }
+    t.Print();
+    std::printf("\nThe ret-chain rows convert saved-return corruption — including the\n"
+                "cross-thread variants — into kPointerAuthFailure aborts (auth-aborts).\n\n");
   }
 
   if (flags.opt >= 1) {

@@ -37,6 +37,12 @@ enum class Protection {
   kCfi,           // coarse-grained CFI baseline
   kStackCookies,  // canary baseline
   kPtrEnc,        // PACTight/LIPPEN-style in-place pointer sealing
+  // PACStack-style chained return MACs: each sealed return token
+  // authenticates over its predecessor, so swapping two live tokens (or
+  // replaying a stale one) breaks the chain even though each token alone
+  // would authenticate. Return protection only — composes with data-pointer
+  // schemes (see core::CompositeScheme).
+  kPtrEncRetChain,
 };
 
 const char* ProtectionName(Protection p);

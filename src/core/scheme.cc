@@ -1,10 +1,149 @@
 #include "src/core/scheme.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 
 #include "src/support/check.h"
 
 namespace cpi::core {
+
+std::string DescribeStageTags(uint32_t tags) {
+  static constexpr struct {
+    StageTag tag;
+    const char* name;
+  } kNames[] = {
+      {kTagStackLayout, "stack-layout"}, {kTagPtrLoads, "ptr-loads"},
+      {kTagPtrStores, "ptr-stores"},     {kTagICalls, "icalls"},
+      {kTagRetMac, "ret-mac"},
+  };
+  std::string out = "{";
+  for (const auto& entry : kNames) {
+    if ((tags & entry.tag) == 0) {
+      continue;
+    }
+    if (out.size() > 1) {
+      out += ", ";
+    }
+    out += entry.name;
+  }
+  out += "}";
+  return out;
+}
+
+void RunStagePipeline(std::vector<PipelineStage> stages, ir::Module& module,
+                      const instrument::PassOptions& options) {
+  std::stable_sort(stages.begin(), stages.end(),
+                   [](const PipelineStage& a, const PipelineStage& b) {
+                     return a.order < b.order;
+                   });
+  for (const PipelineStage& stage : stages) {
+    stage.run(module, options);
+  }
+  instrument::FinalizeModule(module);
+}
+
+uint32_t ProtectionScheme::StageWrites() const {
+  uint32_t writes = 0;
+  for (const PipelineStage& stage : Stages()) {
+    writes |= stage.writes;
+  }
+  return writes;
+}
+
+// ---------------------------------------------------------------------------
+// CompositeScheme
+
+CompositeScheme::CompositeScheme(std::vector<const ProtectionScheme*> parts)
+    : parts_(std::move(parts)) {
+  for (const ProtectionScheme* p : parts_) {
+    if (!name_.empty()) {
+      name_ += "+";
+      description_ += " + ";
+    }
+    name_ += p->name();
+    description_ += p->description();
+  }
+}
+
+std::unique_ptr<CompositeScheme> CompositeScheme::Make(
+    std::vector<const ProtectionScheme*> parts, std::string* error) {
+  CPI_CHECK(error != nullptr);
+  CPI_CHECK(!parts.empty());
+  for (const ProtectionScheme* p : parts) {
+    CPI_CHECK(p != nullptr);
+  }
+  for (size_t i = 0; i < parts.size(); ++i) {
+    for (size_t j = i + 1; j < parts.size(); ++j) {
+      if (parts[i] == parts[j]) {
+        *error = std::string("scheme '") + parts[i]->name() +
+                 "' appears twice in the composite";
+        return nullptr;
+      }
+      const uint32_t overlap = parts[i]->StageWrites() & parts[j]->StageWrites();
+      if (overlap != 0) {
+        *error = std::string("conflict: '") + parts[i]->name() + "' and '" +
+                 parts[j]->name() + "' both write " + DescribeStageTags(overlap);
+        return nullptr;
+      }
+    }
+  }
+  error->clear();
+  return std::unique_ptr<CompositeScheme>(new CompositeScheme(std::move(parts)));
+}
+
+std::vector<PipelineStage> CompositeScheme::Stages() const {
+  std::vector<PipelineStage> stages;
+  for (const ProtectionScheme* p : parts_) {
+    for (PipelineStage& stage : p->Stages()) {
+      stages.push_back(std::move(stage));
+    }
+  }
+  return stages;
+}
+
+bool CompositeScheme::UsesSafeStore() const {
+  for (const ProtectionScheme* p : parts_) {
+    if (p->UsesSafeStore()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CompositeScheme::ConfigureRun(vm::RunOptions& options) const {
+  options.use_safe_store = UsesSafeStore();
+  // Per-op costs add up as deltas against the default cost model: each
+  // component contributes what it charges beyond the baseline, so stacking
+  // schemes sums their premiums and a 1-element composite reproduces its
+  // base scheme's costs bit for bit.
+  const vm::OpCosts base;
+  vm::OpCosts sum = base;
+  for (const ProtectionScheme* p : parts_) {
+    vm::RunOptions part;
+    p->ConfigureRun(part);
+    sum.check += part.costs.check - base.check;
+    sum.cfi_check += part.costs.cfi_check - base.cfi_check;
+    sum.seal += part.costs.seal - base.seal;
+    sum.auth += part.costs.auth - base.auth;
+    sum.sync += part.costs.sync - base.sync;
+  }
+  options.costs = sum;
+}
+
+void CompositeScheme::ConfigureClassification(
+    analysis::ClassifyOptions& options) const {
+  for (const ProtectionScheme* p : parts_) {
+    p->ConfigureClassification(options);
+  }
+}
+
+void CompositeScheme::ContributeOptPasses(opt::PassManager& pm) const {
+  for (const ProtectionScheme* p : parts_) {
+    p->ContributeOptPasses(pm);
+  }
+}
 
 namespace {
 
@@ -16,7 +155,9 @@ class BuiltinScheme final : public ProtectionScheme {
     Protection id;
     const char* name;
     const char* description;
-    void (*instrument)(ir::Module&, const instrument::PassOptions&);
+    // Instrumentation as pipeline stages (empty for vanilla: the pipeline
+    // runner's FinalizeModule is the whole pass).
+    std::vector<PipelineStage> stages;
     bool uses_safe_store = false;
     // Sensitivity criterion, when the scheme runs the classifier.
     std::optional<analysis::Protection> classification;
@@ -26,16 +167,13 @@ class BuiltinScheme final : public ProtectionScheme {
     void (*contribute_opt)(opt::PassManager&) = nullptr;
   };
 
-  explicit BuiltinScheme(const Spec& spec) : spec_(spec) {}
+  explicit BuiltinScheme(Spec spec) : spec_(std::move(spec)) {}
 
   Protection id() const override { return spec_.id; }
   const char* name() const override { return spec_.name; }
   const char* description() const override { return spec_.description; }
 
-  void Instrument(ir::Module& module,
-                  const instrument::PassOptions& options) const override {
-    spec_.instrument(module, options);
-  }
+  std::vector<PipelineStage> Stages() const override { return spec_.stages; }
 
   bool UsesSafeStore() const override { return spec_.uses_safe_store; }
 
@@ -62,13 +200,62 @@ class BuiltinScheme final : public ProtectionScheme {
   Spec spec_;
 };
 
+// Stage order values are pairwise distinct across every built-in, so the
+// merged schedule of any conflict-free composite is the same no matter how
+// the components were listed: rewrites (10–18) before layout (30–32) before
+// the return-MAC flag (40).
+constexpr int kOrderSoftBound = 10;
+constexpr int kOrderCfi = 12;
+constexpr int kOrderCpsRewrites = 14;
+constexpr int kOrderCpiRewrites = 16;
+constexpr int kOrderPtrEncRewrites = 18;
+constexpr int kOrderSafeStack = 30;
+constexpr int kOrderCookies = 32;
+constexpr int kOrderRetChain = 40;
+
+PipelineStage SafeStackStage() {
+  return {"safestack-layout", kOrderSafeStack, kTagStackLayout,
+          [](ir::Module& m, const instrument::PassOptions&) {
+            instrument::ApplySafeStack(m);
+          }};
+}
+
 struct Registry {
   std::vector<std::unique_ptr<ProtectionScheme>> owned;
   std::vector<const ProtectionScheme*> all;
 
   void Add(std::unique_ptr<ProtectionScheme> scheme) {
+    CPI_CHECK(scheme != nullptr);
+    for (const ProtectionScheme* existing : all) {
+      if (std::string_view(existing->name()) == scheme->name()) {
+        std::fprintf(stderr,
+                     "SchemeRegistry::Register: duplicate scheme name '%s'\n",
+                     scheme->name());
+        std::abort();
+      }
+    }
     all.push_back(scheme.get());
     owned.push_back(std::move(scheme));
+  }
+
+  void AddComposite(std::initializer_list<const char*> part_names) {
+    std::vector<const ProtectionScheme*> parts;
+    for (const char* name : part_names) {
+      const ProtectionScheme* found = nullptr;
+      for (const ProtectionScheme* s : all) {
+        if (std::string_view(s->name()) == name) {
+          found = s;
+          break;
+        }
+      }
+      CPI_CHECK(found != nullptr);
+      parts.push_back(found);
+    }
+    std::string error;
+    std::unique_ptr<CompositeScheme> composite =
+        CompositeScheme::Make(std::move(parts), &error);
+    CPI_CHECK(composite != nullptr);
+    Add(std::move(composite));
   }
 
   Registry() {
@@ -78,52 +265,92 @@ struct Registry {
     // overhead_column.
     Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
         Protection::kNone, "vanilla", "No protection",
-        +[](ir::Module& m, const PassOptions&) { instrument::FinalizeModule(m); },
+        {},
         /*uses_safe_store=*/false, std::nullopt, vm::OpCosts{},
         SchemeReporting{false, true, false}}));
     Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
         Protection::kStackCookies, "cookies", "Stack cookies",
-        +[](ir::Module& m, const PassOptions&) { instrument::ApplyStackCookies(m); },
+        {{"cookie-prologues", kOrderCookies, kTagStackLayout,
+          [](ir::Module& m, const PassOptions&) {
+            instrument::ApplyStackCookiesRewrites(m);
+          }}},
         /*uses_safe_store=*/false, std::nullopt, vm::OpCosts{},
         SchemeReporting{false, true, true}}));
     Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
         Protection::kCfi, "cfi", "Control-Flow Integrity",
-        +[](ir::Module& m, const PassOptions&) { instrument::ApplyCfi(m); },
+        {{"cfi-icall-checks", kOrderCfi, kTagICalls,
+          [](ir::Module& m, const PassOptions&) {
+            instrument::ApplyCfiRewrites(m);
+          }}},
         /*uses_safe_store=*/false, std::nullopt,
         vm::OpCosts{/*check=*/1, /*cfi_check=*/3, /*seal=*/4, /*auth=*/4},
         SchemeReporting{false, true, true}}));
     Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
         Protection::kSafeStack, "safestack", "Safe Stack",
-        +[](ir::Module& m, const PassOptions&) { instrument::ApplySafeStack(m); },
+        {SafeStackStage()},
         /*uses_safe_store=*/false, std::nullopt, vm::OpCosts{},
         SchemeReporting{true, true, true}}));
     Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
         Protection::kCps, "cps", "Code-Pointer Separation",
-        +[](ir::Module& m, const PassOptions& o) { instrument::ApplyCps(m, o); },
+        {{"cps-rewrites", kOrderCpsRewrites,
+          kTagPtrLoads | kTagPtrStores | kTagICalls,
+          [](ir::Module& m, const PassOptions& o) {
+            instrument::ApplyCpsRewrites(m, o);
+          }},
+         SafeStackStage()},
         /*uses_safe_store=*/true, analysis::Protection::kCps,
         vm::OpCosts{/*check=*/1, /*cfi_check=*/3, /*seal=*/4, /*auth=*/4},
         SchemeReporting{true, true, true}}));
     Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
         Protection::kCpi, "cpi", "Code-Pointer Integrity",
-        +[](ir::Module& m, const PassOptions& o) { instrument::ApplyCpi(m, o); },
+        {{"cpi-rewrites", kOrderCpiRewrites,
+          kTagPtrLoads | kTagPtrStores | kTagICalls,
+          [](ir::Module& m, const PassOptions& o) {
+            instrument::ApplyCpiRewrites(m, o);
+          }},
+         SafeStackStage()},
         /*uses_safe_store=*/true, analysis::Protection::kCpi,
         vm::OpCosts{/*check=*/1, /*cfi_check=*/3, /*seal=*/4, /*auth=*/4},
         SchemeReporting{true, true, true}}));
     Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
         Protection::kSoftBound, "softbound", "Memory Safety",
-        +[](ir::Module& m, const PassOptions&) { instrument::ApplySoftBound(m); },
+        {{"softbound-checks", kOrderSoftBound, kTagPtrLoads | kTagPtrStores,
+          [](ir::Module& m, const PassOptions&) {
+            instrument::ApplySoftBoundRewrites(m);
+          }}},
         /*uses_safe_store=*/false, std::nullopt,
         vm::OpCosts{/*check=*/1, /*cfi_check=*/3, /*seal=*/4, /*auth=*/4},
         SchemeReporting{false, true, true}}));
     Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
         Protection::kPtrEnc, "ptrenc", "In-Place Pointer Encryption",
-        +[](ir::Module& m, const PassOptions& o) { instrument::ApplyPtrEnc(m, o); },
+        {{"ptrenc-rewrites", kOrderPtrEncRewrites,
+          kTagPtrLoads | kTagPtrStores | kTagICalls | kTagRetMac,
+          [](ir::Module& m, const PassOptions& o) {
+            instrument::ApplyPtrEncRewrites(m, o);
+          }}},
         /*uses_safe_store=*/false, analysis::Protection::kCps,
         // PAC-style sign/authenticate latency dominates; no separate checks.
         vm::OpCosts{/*check=*/1, /*cfi_check=*/3, /*seal=*/4, /*auth=*/4},
         SchemeReporting{true, true, true},
         // Seal→auth pair elision folds the pattern only this scheme emits.
         +[](opt::PassManager& pm) { pm.Add(opt::CreateSealElisionPass()); }}));
+    // PACStack-style chained return MACs: return protection only, so it
+    // stacks onto data-pointer schemes. Reports into the composite table —
+    // the frozen single-scheme tables stay byte-identical.
+    Add(std::make_unique<BuiltinScheme>(BuiltinScheme::Spec{
+        Protection::kPtrEncRetChain, "ptrenc-ret-chain",
+        "Chained Return Authentication",
+        {{"ret-chain", kOrderRetChain, kTagRetMac,
+          [](ir::Module& m, const PassOptions&) {
+            instrument::ApplyRetChain(m);
+          }}},
+        /*uses_safe_store=*/false, std::nullopt,
+        vm::OpCosts{/*check=*/1, /*cfi_check=*/3, /*seal=*/4, /*auth=*/4},
+        SchemeReporting{false, false, false, /*composite_table=*/true}}));
+    // The blessed composites of the evaluation: pointer sealing over an
+    // isolated return stack, and full CPI with chain-authenticated returns.
+    AddComposite({"ptrenc", "safestack"});
+    AddComposite({"cpi", "ptrenc-ret-chain"});
   }
 };
 
@@ -174,6 +401,43 @@ const ProtectionScheme& SchemeRegistry::Register(
   return *registry.all.back();
 }
 
+const ProtectionScheme* SchemeRegistry::FindOrRegisterComposite(
+    std::string_view spec, std::string* error) {
+  CPI_CHECK(error != nullptr);
+  error->clear();
+  // An exact spelling that is already registered (a plain scheme or a
+  // previously built composite) wins outright.
+  if (const ProtectionScheme* existing = FindByName(spec)) {
+    return existing;
+  }
+  std::vector<const ProtectionScheme*> parts;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find('+', begin);
+    if (end == std::string_view::npos) {
+      end = spec.size();
+    }
+    const std::string_view component = spec.substr(begin, end - begin);
+    const ProtectionScheme* part =
+        component.empty() ? nullptr : FindByName(component);
+    if (part == nullptr) {
+      *error = "unknown scheme '" + std::string(component) + "' in '" +
+               std::string(spec) + "'";
+      return nullptr;
+    }
+    parts.push_back(part);
+    begin = end + 1;
+  }
+  // A single unknown name lands above; a single known name was found by the
+  // exact-spelling lookup, so reaching here means a genuine composite.
+  std::unique_ptr<CompositeScheme> composite =
+      CompositeScheme::Make(std::move(parts), error);
+  if (composite == nullptr) {
+    return nullptr;
+  }
+  return &Register(std::move(composite));
+}
+
 std::vector<const ProtectionScheme*> SchemeRegistry::OverheadColumns() {
   return Filter(&SchemeReporting::overhead_column);
 }
@@ -184,6 +448,10 @@ std::vector<const ProtectionScheme*> SchemeRegistry::RipeRows() {
 
 std::vector<const ProtectionScheme*> SchemeRegistry::DefenseRows() {
   return Filter(&SchemeReporting::defense_row);
+}
+
+std::vector<const ProtectionScheme*> SchemeRegistry::CompositeTableRows() {
+  return Filter(&SchemeReporting::composite_table);
 }
 
 }  // namespace cpi::core

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/core/levee.h"
+#include "src/core/scheme.h"
 #include "src/vm/fault.h"
 
 namespace cpi::fuzz {
@@ -124,15 +125,14 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
     out.detail = where + ": " + what;
   };
 
-  static const core::Protection kSchemes[] = {
-      core::Protection::kNone,      core::Protection::kSafeStack,
-      core::Protection::kCps,       core::Protection::kCpi,
-      core::Protection::kSoftBound, core::Protection::kCfi,
-      core::Protection::kStackCookies, core::Protection::kPtrEnc};
-
-  auto base_config = [&options](core::Protection p) {
+  // The scheme axis is the registry itself, so the ret-chain variant and the
+  // registered composites (ptrenc+safestack, cpi+ptrenc-ret-chain) join the
+  // sweep automatically. Cells select by Config::scheme — the composite
+  // pointer, not just its Protection id.
+  auto base_config = [&options](const core::ProtectionScheme* s) {
     core::Config c;
-    c.protection = p;
+    c.protection = s->id();
+    c.scheme = s;
     c.max_steps = options.max_steps;
     return c;
   };
@@ -140,12 +140,12 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
   vm::RunResult vanilla_oracle;
   bool have_vanilla = false;
 
-  for (core::Protection p : kSchemes) {
-    const std::string scheme = core::ProtectionName(p);
+  for (const core::ProtectionScheme* s : core::SchemeRegistry::All()) {
+    const std::string scheme = s->name();
 
     // In-scheme oracle: the reference tree-walker at O0, array store, the
     // default quantum.
-    core::Config oracle_config = base_config(p);
+    core::Config oracle_config = base_config(s);
     oracle_config.engine = vm::EngineKind::kReference;
     Cell oracle = RunCell(plan, oracle_config);
     ++out.cells_run;
@@ -173,7 +173,7 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
         {"fused/O0/q4096", vm::EngineKind::kFused, 4096},
     };
     for (const IdCell& spec : kIdCells) {
-      core::Config config = base_config(p);
+      core::Config config = base_config(s);
       config.engine = spec.engine;
       config.thread_quantum = spec.quantum;
       Cell c = RunCell(plan, config);
@@ -186,7 +186,7 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
       // Self-test: deliberately misreport this one cell so the harness's
       // detect -> minimize -> replay machinery is exercised end to end.
       if (diff.empty() && options.inject_divergence_at != 0 &&
-          p == core::Protection::kCpi && std::string(spec.label) == "fused/O0" &&
+          scheme == "cpi" && std::string(spec.label) == "fused/O0" &&
           oracle.result.counters.instructions >= options.inject_divergence_at) {
         std::ostringstream msg;
         msg << "self-test injected divergence (oracle instructions "
@@ -212,7 +212,7 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
         {"fused/O0/two-level", 0, runtime::StoreKind::kTwoLevel},
     };
     for (const BehCell& spec : kBehCells) {
-      core::Config config = base_config(p);
+      core::Config config = base_config(s);
       config.opt_level = spec.opt;
       config.store = spec.store;
       Cell c = RunCell(plan, config);
@@ -238,7 +238,7 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
     // so reference and fused have to agree on it cycle for cycle).
     static const uint32_t kShardCounts[] = {2, 64};
     for (uint32_t shards : kShardCounts) {
-      core::Config ref = base_config(p);
+      core::Config ref = base_config(s);
       ref.shards = shards;
       ref.engine = vm::EngineKind::kReference;
       core::Config fused = ref;
@@ -271,7 +271,7 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
     // counter identity — publish charges and shard_migrations included —
     // and behaviour must match the flat oracle exactly.
     {
-      core::Config ref = base_config(p);
+      core::Config ref = base_config(s);
       ref.shards = 8;
       ref.migrate = true;
       ref.engine = vm::EngineKind::kReference;
@@ -300,7 +300,7 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
     }
 
     // Cross-scheme: instrumentation must preserve behaviour against vanilla.
-    if (p == core::Protection::kNone) {
+    if (scheme == "vanilla") {
       vanilla_oracle = oracle.result;
       have_vanilla = true;
     } else if (have_vanilla) {
@@ -315,10 +315,10 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
     // each at full reference-vs-fused counter identity. (Not compared to
     // the plain oracle: temporal checks legitimately turn a hazardous
     // program's stale reads into violations.)
-    if (p == core::Protection::kCpi) {
+    if (scheme == "cpi") {
       for (int mode = 0; mode < 2; ++mode) {
         const char* label = mode == 0 ? "debug" : "temporal";
-        core::Config ref = base_config(p);
+        core::Config ref = base_config(s);
         ref.debug_mode = mode == 0;
         ref.temporal = mode == 1;
         ref.engine = vm::EngineKind::kReference;
@@ -361,7 +361,7 @@ CaseResult RunCase(const Plan& plan, const DiffOptions& options) {
             {kind, std::max<uint64_t>(1, span / 3), Mix(plan.seed, static_cast<uint64_t>(kind))});
         fplan.events.push_back({kind, std::max<uint64_t>(2, 2 * span / 3),
                                 Mix(plan.seed, 16 + static_cast<uint64_t>(kind))});
-        core::Config config = base_config(p);
+        core::Config config = base_config(s);
         if (kind == vm::FaultKind::kCorruptShard || kind == vm::FaultKind::kOomShard) {
           config.shards = 8;  // per-shard containment needs real shards
         }

@@ -1,8 +1,9 @@
 // The differential executor: runs one generated program across the full
 // configuration matrix and flags any disagreement.
 //
-// Per scheme (all eight registry entries, vanilla included), with the
-// scheme's reference-engine run as the in-scheme oracle:
+// Per scheme (every registry entry — the eight classic schemes, the
+// ret-chain variant and the registered composites, vanilla included), with
+// the scheme's reference-engine run as the in-scheme oracle:
 //
 //   counter-identity cells  — decoded and fused engines at O0, plus a fused
 //     quantum sweep (1, 64, 4096). Every simulated observable must match the

@@ -42,7 +42,7 @@ bool IsMemTransfer(ir::LibFunc f) {
 
 }  // namespace
 
-void ApplySoftBound(ir::Module& module) {
+void ApplySoftBoundRewrites(ir::Module& module) {
   CPI_CHECK(!module.protection().cpi && !module.protection().cps &&
             !module.protection().softbound && !module.protection().ptrenc);
 
@@ -101,11 +101,15 @@ void ApplySoftBound(ir::Module& module) {
   }
 
   module.protection().softbound = true;
+}
+
+void ApplySoftBound(ir::Module& module) {
+  ApplySoftBoundRewrites(module);
   FinalizeModule(module);
   CPI_CHECK(ir::IsValid(module));
 }
 
-void ApplyCfi(ir::Module& module) {
+void ApplyCfiRewrites(ir::Module& module) {
   module.ComputeAddressTaken();
   for (const auto& f : module.functions()) {
     for (const auto& bb : f->blocks()) {
@@ -126,11 +130,15 @@ void ApplyCfi(ir::Module& module) {
     }
   }
   module.protection().cfi = true;
+}
+
+void ApplyCfi(ir::Module& module) {
+  ApplyCfiRewrites(module);
   FinalizeModule(module);
   CPI_CHECK(ir::IsValid(module));
 }
 
-void ApplyStackCookies(ir::Module& module) {
+void ApplyStackCookiesRewrites(ir::Module& module) {
   // The compiler heuristic of -fstack-protector: protect functions with
   // character-array locals of at least 8 bytes.
   for (const auto& f : module.functions()) {
@@ -151,6 +159,10 @@ void ApplyStackCookies(ir::Module& module) {
     f->set_has_stack_cookie(needs_cookie);
   }
   module.protection().stack_cookies = true;
+}
+
+void ApplyStackCookies(ir::Module& module) {
+  ApplyStackCookiesRewrites(module);
   FinalizeModule(module);
 }
 

@@ -133,8 +133,6 @@ void InstrumentModule(ir::Module& module, analysis::Protection protection,
     RemapOperands(*f, replacements);
   }
 
-  // CPI/CPS deployments include the safe stack (§3.2.4).
-  ApplySafeStack(module);
   if (protection == analysis::Protection::kCpi) {
     module.protection().cpi = true;
   } else {
@@ -142,18 +140,31 @@ void InstrumentModule(ir::Module& module, analysis::Protection protection,
   }
   module.protection().debug_mode = options.debug_mode;
   module.protection().temporal = options.temporal;
-  FinalizeModule(module);
-  CPI_CHECK(ir::IsValid(module));
 }
 
 }  // namespace
 
-void ApplyCpi(ir::Module& module, const PassOptions& options) {
+void ApplyCpiRewrites(ir::Module& module, const PassOptions& options) {
   InstrumentModule(module, analysis::Protection::kCpi, options, kCpiIntrinsics);
 }
 
-void ApplyCps(ir::Module& module, const PassOptions& options) {
+void ApplyCpsRewrites(ir::Module& module, const PassOptions& options) {
   InstrumentModule(module, analysis::Protection::kCps, options, kCpsIntrinsics);
+}
+
+void ApplyCpi(ir::Module& module, const PassOptions& options) {
+  ApplyCpiRewrites(module, options);
+  // CPI/CPS deployments include the safe stack (§3.2.4).
+  ApplySafeStack(module);
+  FinalizeModule(module);
+  CPI_CHECK(ir::IsValid(module));
+}
+
+void ApplyCps(ir::Module& module, const PassOptions& options) {
+  ApplyCpsRewrites(module, options);
+  ApplySafeStack(module);
+  FinalizeModule(module);
+  CPI_CHECK(ir::IsValid(module));
 }
 
 }  // namespace cpi::instrument

@@ -51,6 +51,25 @@ void ApplyStackCookies(ir::Module& module);
 // safe region at all; the VM also seals saved return tokens in place.
 void ApplyPtrEnc(ir::Module& module, const PassOptions& options = {});
 
+// PACStack-style chained return MACs (ProtectionFlags::ret_chain): the VM
+// seals every saved return token over its predecessor and keeps a per-thread
+// chain head, so a return authenticates the whole chain suffix. Pure flag
+// pass — all the work happens in the VM. Mutually exclusive with PtrEnc,
+// which owns the plain sealed-return-slot format.
+void ApplyRetChain(ir::Module& module);
+
+// Rewrite-only stage entry points, as the scheme layer's staged pipeline
+// (core::PipelineStage) consumes them: each applies one scheme's IR rewrites
+// and records its protection flags, but leaves the final module re-numbering
+// to the pipeline runner. The ApplyX wrappers above remain byte-identical
+// compositions of these stages (rewrites, then FinalizeModule).
+void ApplyCpiRewrites(ir::Module& module, const PassOptions& options = {});
+void ApplyCpsRewrites(ir::Module& module, const PassOptions& options = {});
+void ApplyPtrEncRewrites(ir::Module& module, const PassOptions& options = {});
+void ApplySoftBoundRewrites(ir::Module& module);
+void ApplyCfiRewrites(ir::Module& module);
+void ApplyStackCookiesRewrites(ir::Module& module);
+
 // Re-numbers all functions; needed before execution even when no pass ran.
 void FinalizeModule(ir::Module& module);
 

@@ -19,9 +19,13 @@
 
 namespace cpi::instrument {
 
-void ApplyPtrEnc(ir::Module& module, const PassOptions& options) {
+void ApplyPtrEncRewrites(ir::Module& module, const PassOptions& options) {
   CPI_CHECK(!module.protection().cpi && !module.protection().cps &&
             !module.protection().softbound && !module.protection().ptrenc);
+  // PtrEnc owns the plain sealed-return-slot format; the chained variant
+  // must not stack on top of it (the scheme layer rejects the combination
+  // as a ret-mac write conflict before instrumentation ever runs).
+  CPI_CHECK(!module.protection().ret_chain);
 
   using analysis::MemOpClass;
   using ir::Instruction;
@@ -106,6 +110,10 @@ void ApplyPtrEnc(ir::Module& module, const PassOptions& options) {
   }
 
   module.protection().ptrenc = true;
+}
+
+void ApplyPtrEnc(ir::Module& module, const PassOptions& options) {
+  ApplyPtrEncRewrites(module, options);
   FinalizeModule(module);
   CPI_CHECK(ir::IsValid(module));
 }

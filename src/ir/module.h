@@ -61,6 +61,11 @@ struct ProtectionFlags {
   // VM's saved return tokens) carry a keyed MAC in their high bits instead
   // of living in a separate safe region.
   bool ptrenc = false;
+  // PACStack-style chained return MACs: the VM seals every saved return
+  // token over the previous sealed token (per-thread chain head), so each
+  // return authenticates the whole chain suffix. Mutually exclusive with
+  // `ptrenc`, which owns the plain sealed-return-slot format.
+  bool ret_chain = false;
   // Debug mode (§3.2.2): mirror sensitive pointers into both regions and
   // compare on load — detects (rather than silently neutralises) attacks.
   bool debug_mode = false;

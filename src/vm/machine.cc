@@ -138,6 +138,10 @@ class Machine {
     uint64_t ret_slot = 0;       // address of the saved-return-token word
     bool ret_slot_safe = false;  // token lives in the safe region
     uint64_t token = 0;
+    // Chained return MACs (ProtectionFlags::ret_chain): the thread's chain
+    // head at the moment this frame was pushed — the predecessor the saved
+    // token was sealed over, restored as the head when this frame returns.
+    uint64_t saved_chain = 0;
     uint64_t cookie_addr = 0;  // 0: no cookie
     bool no_continuation = false;
   };
@@ -169,6 +173,10 @@ class Machine {
     uint64_t sp = 0;
     uint64_t safe_sp = 0;
     uint64_t token_counter = 0;
+    // Chained return MACs: the sealed token of the innermost live frame (0
+    // before the first call). Per-thread — each thread authenticates its own
+    // chain, like PACStack's per-thread CR register.
+    uint64_t ret_chain_head = 0;
     uint64_t temporal_counter = 0;  // spawned threads mint (tid<<48 | n) ids
     uint64_t heap_next = 0;
     uint64_t heap_limit = 0;
@@ -956,11 +964,25 @@ bool Machine::PushFrame(const Function* callee, const std::vector<uint64_t>& arg
   f.token = kRetTokenBase + (cur_->tid << 36) + (++cur_->token_counter << 4);
 
   const bool safe_stack = module_.protection().safe_stack;
+  // Chained return MACs (ProtectionFlags::ret_chain): sign the saved token
+  // over its slot XOR the thread's current chain head. The predecessor's
+  // full sealed word enters the MAC's location domain, so every token
+  // authenticates the entire chain suffix — and the sealed word becomes the
+  // new head. Applies to safe-stack slots too (cpi+ptrenc-ret-chain layers
+  // chain authentication over the isolated stack).
+  const bool ret_chain = module_.protection().ret_chain;
   if (safe_stack) {
     cur_->safe_sp -= 8;
     f.ret_slot = cur_->safe_sp;
     f.ret_slot_safe = true;
-    if (cur_->safe_stack.WriteU64(f.ret_slot, f.token) != MemFault::kNone) {
+    uint64_t slot_word = f.token;
+    if (ret_chain) {
+      f.saved_chain = cur_->ret_chain_head;
+      slot_word = sealer_.Seal(f.token, f.ret_slot ^ f.saved_chain);
+      ChargeSeal();
+      cur_->ret_chain_head = slot_word;
+    }
+    if (cur_->safe_stack.WriteU64(f.ret_slot, slot_word) != MemFault::kNone) {
       Crash("stack overflow: safe stack exhausted");
       return false;
     }
@@ -977,6 +999,11 @@ bool Machine::PushFrame(const Function* callee, const std::vector<uint64_t>& arg
       // epilogue authenticate (see DoRet).
       slot_word = sealer_.Seal(f.token, f.ret_slot);
       ChargeSeal();
+    } else if (ret_chain) {
+      f.saved_chain = cur_->ret_chain_head;
+      slot_word = sealer_.Seal(f.token, f.ret_slot ^ f.saved_chain);
+      ChargeSeal();
+      cur_->ret_chain_head = slot_word;
     }
     if (regular_.WriteU64(f.ret_slot, slot_word) != MemFault::kNone) {
       Crash("stack overflow: stack exhausted");
@@ -1794,6 +1821,24 @@ void Machine::DoRet(Frame& f, bool has_value, const Ops& ops) {
         token = stripped;
       }
     }
+  }
+
+  if (module_.protection().ret_chain) {
+    // Chain epilogue: the slot must still hold the thread's chain head, and
+    // that word must authenticate over slot ⊕ predecessor. A genuine stale
+    // token from elsewhere in the chain fails the head comparison; a forged
+    // word fails the MAC. No leaf elision — the chain head moves on every
+    // call, so every return pays the authenticate.
+    ChargeAuth();
+    uint64_t stripped = 0;
+    if (token != cur_->ret_chain_head ||
+        !sealer_.Auth(token, f.ret_slot ^ f.saved_chain, &stripped)) {
+      Abort(Violation::kPointerAuthFailure,
+            "ret-chain: saved return address broke the authentication chain");
+      return;
+    }
+    token = stripped;
+    cur_->ret_chain_head = f.saved_chain;
   }
 
   if (token == f.token) {

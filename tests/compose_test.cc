@@ -1,0 +1,230 @@
+// CompositeScheme tests: the staged-pipeline contract that makes schemes
+// stackable.
+//
+// The load-bearing properties:
+//   - a 1-element composite is indistinguishable from its base scheme (same
+//     instrumented program, same counters, same memory shape) across every
+//     engine, O0/O1 and the scheduler-quantum sweep — composition adds no
+//     cost and no behaviour of its own;
+//   - composition is order-independent: a+b and b+a schedule the same
+//     pipeline (built-ins carry pairwise-distinct stage orders), so every
+//     simulated observable matches;
+//   - stacks whose stage write tags overlap are rejected with a diagnostic
+//     instead of silently picking an order;
+//   - the chained return MAC composes onto CPI and still turns a saved-return
+//     overwrite into a kPointerAuthFailure abort.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/attacks/ripe.h"
+#include "src/core/scheme.h"
+#include "src/ir/clone.h"
+#include "src/workloads/workloads.h"
+
+namespace cpi {
+namespace {
+
+using core::CompositeScheme;
+using core::Config;
+using core::Protection;
+using core::ProtectionScheme;
+using core::SchemeRegistry;
+using vm::RunResult;
+
+void ExpectIdentical(const RunResult& a, const RunResult& b, const std::string& label) {
+  EXPECT_EQ(a.status, b.status) << label;
+  EXPECT_EQ(a.violation, b.violation) << label;
+  EXPECT_EQ(a.message, b.message) << label;
+  EXPECT_EQ(a.exit_code, b.exit_code) << label;
+  EXPECT_EQ(a.output, b.output) << label;
+
+  const vm::Counters& ac = a.counters;
+  const vm::Counters& bc = b.counters;
+  EXPECT_EQ(ac.instructions, bc.instructions) << label;
+  EXPECT_EQ(ac.cycles, bc.cycles) << label;
+  EXPECT_EQ(ac.mem_accesses, bc.mem_accesses) << label;
+  EXPECT_EQ(ac.safe_store_ops, bc.safe_store_ops) << label;
+  EXPECT_EQ(ac.store_contended_ops, bc.store_contended_ops) << label;
+  EXPECT_EQ(ac.seal_ops, bc.seal_ops) << label;
+  EXPECT_EQ(ac.checks, bc.checks) << label;
+  EXPECT_EQ(ac.calls, bc.calls) << label;
+  EXPECT_EQ(ac.hijack_transfers, bc.hijack_transfers) << label;
+  EXPECT_EQ(ac.cache_hits, bc.cache_hits) << label;
+  EXPECT_EQ(ac.cache_misses, bc.cache_misses) << label;
+  EXPECT_EQ(ac.thread_spawns, bc.thread_spawns) << label;
+
+  EXPECT_EQ(a.memory.regular_bytes, b.memory.regular_bytes) << label;
+  EXPECT_EQ(a.memory.safe_store_bytes, b.memory.safe_store_bytes) << label;
+  EXPECT_EQ(a.memory.safe_stack_bytes, b.memory.safe_stack_bytes) << label;
+  EXPECT_EQ(a.memory.safe_store_entries, b.memory.safe_store_entries) << label;
+}
+
+RunResult RunFresh(const workloads::Workload& w, const Config& config) {
+  auto module = w.build(1);
+  return core::InstrumentAndRun(*module, config, w.input);
+}
+
+std::unique_ptr<CompositeScheme> MustMake(
+    std::vector<const ProtectionScheme*> parts) {
+  std::string error;
+  auto composite = CompositeScheme::Make(std::move(parts), &error);
+  EXPECT_NE(composite, nullptr) << error;
+  return composite;
+}
+
+// A 1-element composite must be byte-identical to its base scheme: the
+// pipeline scheduler, the delta-summed costs and the merged runtime facets
+// all reduce to the base scheme's own configuration. Swept across engines,
+// O0/O1 and scheduler quanta on a threaded workload so any divergence in any
+// tier's counter stream would surface.
+TEST(CompositeTest, OneElementCompositeIsByteIdenticalToItsBase) {
+  const workloads::Workload& w = workloads::ConcurrentServer().front();
+  for (const char* base_name : {"cpi", "ptrenc", "safestack", "softbound"}) {
+    const ProtectionScheme* base = SchemeRegistry::FindByName(base_name);
+    ASSERT_NE(base, nullptr) << base_name;
+    const auto composite = MustMake({base});
+    for (vm::EngineKind engine :
+         {vm::EngineKind::kReference, vm::EngineKind::kDecoded,
+          vm::EngineKind::kFused}) {
+      for (int opt : {0, 1}) {
+        for (uint64_t quantum : {1ull, 64ull, 4096ull}) {
+          Config base_config;
+          base_config.protection = base->id();
+          base_config.scheme = base;
+          base_config.engine = engine;
+          base_config.opt_level = opt;
+          base_config.thread_quantum = quantum;
+          Config comp_config = base_config;
+          comp_config.scheme = composite.get();
+          const std::string label = std::string(base_name) + " engine=" +
+                                    vm::EngineKindName(engine) + " O" +
+                                    std::to_string(opt) +
+                                    " quantum=" + std::to_string(quantum);
+          ExpectIdentical(RunFresh(w, base_config), RunFresh(w, comp_config),
+                          label);
+        }
+      }
+    }
+  }
+}
+
+// a+b and b+a must be the same scheme: the scheduler orders stages by their
+// declared order values, not by listing order. Checked on every simulated
+// observable, for both a single-threaded SPEC model and a threaded server.
+TEST(CompositeTest, CompositionIsOrderIndependent) {
+  const ProtectionScheme* ptrenc = SchemeRegistry::FindByName("ptrenc");
+  const ProtectionScheme* safestack = SchemeRegistry::FindByName("safestack");
+  const ProtectionScheme* cpi_s = SchemeRegistry::FindByName("cpi");
+  const ProtectionScheme* chain = SchemeRegistry::FindByName("ptrenc-ret-chain");
+  ASSERT_TRUE(ptrenc && safestack && cpi_s && chain);
+
+  const struct {
+    const ProtectionScheme* a;
+    const ProtectionScheme* b;
+  } pairs[] = {{ptrenc, safestack}, {cpi_s, chain}};
+  for (const auto& pair : pairs) {
+    const auto ab = MustMake({pair.a, pair.b});
+    const auto ba = MustMake({pair.b, pair.a});
+    for (const workloads::Workload* w :
+         {&workloads::SpecCpu2006().front(), &workloads::ConcurrentServer().front()}) {
+      Config config_ab;
+      config_ab.protection = ab->id();
+      config_ab.scheme = ab.get();
+      Config config_ba = config_ab;
+      config_ba.protection = ba->id();
+      config_ba.scheme = ba.get();
+      ExpectIdentical(RunFresh(*w, config_ab), RunFresh(*w, config_ba),
+                      std::string(ab->name()) + " vs " + ba->name() + " on " + w->name);
+    }
+  }
+}
+
+// Overlapping write tags have no order-independent meaning; Make must refuse
+// them (and repeated components) with a diagnostic naming the clash.
+TEST(CompositeTest, ConflictingStacksAreRejected) {
+  const ProtectionScheme* cpi_s = SchemeRegistry::FindByName("cpi");
+  const ProtectionScheme* cps = SchemeRegistry::FindByName("cps");
+  const ProtectionScheme* safestack = SchemeRegistry::FindByName("safestack");
+  const ProtectionScheme* ptrenc = SchemeRegistry::FindByName("ptrenc");
+  const ProtectionScheme* chain = SchemeRegistry::FindByName("ptrenc-ret-chain");
+  ASSERT_TRUE(cpi_s && cps && safestack && ptrenc && chain);
+
+  std::string error;
+  // Both rewrite pointer loads/stores and indirect calls.
+  EXPECT_EQ(CompositeScheme::Make({cpi_s, cps}, &error), nullptr);
+  EXPECT_NE(error.find("conflict"), std::string::npos) << error;
+
+  // CPI already carries the safe-stack stage.
+  error.clear();
+  EXPECT_EQ(CompositeScheme::Make({cpi_s, safestack}, &error), nullptr);
+  EXPECT_NE(error.find("stack-layout"), std::string::npos) << error;
+
+  // PtrEnc owns the saved return-token format itself.
+  error.clear();
+  EXPECT_EQ(CompositeScheme::Make({ptrenc, chain}, &error), nullptr);
+  EXPECT_NE(error.find("ret-mac"), std::string::npos) << error;
+
+  // A repeated component is a conflict with itself.
+  error.clear();
+  EXPECT_EQ(CompositeScheme::Make({cpi_s, cpi_s}, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+// Spec resolution: single names return the registered scheme, the blessed
+// composite spellings return the pre-registered composite (idempotently),
+// and unknown components are named in the error.
+TEST(CompositeTest, FindOrRegisterCompositeResolvesSpecs) {
+  std::string error;
+  EXPECT_EQ(SchemeRegistry::FindOrRegisterComposite("cpi", &error),
+            SchemeRegistry::FindByName("cpi"));
+
+  const ProtectionScheme* blessed =
+      SchemeRegistry::FindOrRegisterComposite("ptrenc+safestack", &error);
+  ASSERT_NE(blessed, nullptr) << error;
+  EXPECT_EQ(blessed, SchemeRegistry::FindByName("ptrenc+safestack"));
+  EXPECT_EQ(blessed, SchemeRegistry::FindOrRegisterComposite("ptrenc+safestack", &error));
+
+  EXPECT_EQ(SchemeRegistry::FindOrRegisterComposite("cpi+nope", &error), nullptr);
+  EXPECT_NE(error.find("unknown scheme 'nope'"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_EQ(SchemeRegistry::FindOrRegisterComposite("cpi+cps", &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+// The PACStack-style chain on top of CPI: the composite keeps CPI's verdicts
+// and the ret-chain stage still converts a saved-return overwrite into an
+// authentication abort rather than a hijack.
+TEST(CompositeTest, RetChainOnCpiTurnsReturnOverwriteIntoAuthAbort) {
+  const ProtectionScheme* chain = SchemeRegistry::FindByName("ptrenc-ret-chain");
+  ASSERT_NE(chain, nullptr);
+
+  attacks::AttackSpec spec;
+  spec.technique = attacks::Technique::kDirectOverflow;
+  spec.location = attacks::Location::kStack;
+  spec.target = attacks::Target::kReturnAddress;
+
+  // Standalone: return protection only, so the chain is the defense.
+  Config config;
+  config.protection = chain->id();
+  config.scheme = chain;
+  attacks::AttackResult r = attacks::RunAttack(spec, config);
+  EXPECT_FALSE(r.Hijacked()) << r.message;
+  EXPECT_EQ(r.violation, runtime::Violation::kPointerAuthFailure) << r.message;
+
+  // Stacked on CPI: nothing hijacks anywhere in the matrix.
+  const ProtectionScheme* stacked =
+      SchemeRegistry::FindByName("cpi+ptrenc-ret-chain");
+  ASSERT_NE(stacked, nullptr);
+  Config stacked_config;
+  stacked_config.protection = stacked->id();
+  stacked_config.scheme = stacked;
+  for (const auto& result : attacks::RunAttackMatrix(stacked_config)) {
+    EXPECT_FALSE(result.Hijacked()) << result.spec.Name() << ": " << result.message;
+  }
+}
+
+}  // namespace
+}  // namespace cpi

@@ -76,6 +76,7 @@ TEST(DecodeDifferentialTest, AllWorkloadsAllSchemes) {
     for (const ProtectionScheme* s : core::SchemeRegistry::All()) {
       Config config;
       config.protection = s->id();
+      config.scheme = s;  // composites run as composites, not their first part
       RunBothEngines(*built, config, w.input, w.name + " / " + s->name());
     }
   }
@@ -110,6 +111,7 @@ TEST(DecodeDifferentialTest, AttackMatrixAllSchemes) {
     for (const attacks::AttackSpec& spec : matrix) {
       Config config;
       config.protection = s->id();
+      config.scheme = s;
 
       config.reference_interpreter = false;
       const attacks::AttackResult decoded = attacks::RunAttack(spec, config);

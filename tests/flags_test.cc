@@ -52,6 +52,50 @@ TEST(BenchFlagsTest, MigrateWithOneShardWarnsButParses) {
   EXPECT_NE(err.find("no-op"), std::string::npos) << err;
 }
 
+TEST(BenchFlagsTest, SchemeFlagResolvesARegisteredName) {
+  char a0[] = "bench";
+  char a1[] = "--scheme";
+  char a2[] = "cpi";
+  char* argv[] = {a0, a1, a2};
+  const Flags flags = Parse(3, argv);
+  ASSERT_NE(flags.scheme, nullptr);
+  EXPECT_STREQ(flags.scheme->name(), "cpi");
+  EXPECT_EQ(flags.scheme, core::SchemeRegistry::FindByName("cpi"));
+  // Deliberately NOT applied by BaseConfig (it would pin registry-sweeping
+  // drivers to one scheme); consuming drivers opt in.
+  EXPECT_EQ(BaseConfig(flags).scheme, nullptr);
+}
+
+TEST(BenchFlagsTest, SchemeFlagResolvesACompositeSpec) {
+  char a0[] = "bench";
+  char a1[] = "--scheme";
+  char a2[] = "ptrenc+safestack";
+  char* argv[] = {a0, a1, a2};
+  const Flags flags = Parse(3, argv);
+  ASSERT_NE(flags.scheme, nullptr);
+  EXPECT_STREQ(flags.scheme->name(), "ptrenc+safestack");
+  // The blessed composites are pre-registered; the spec resolves to the
+  // registry entry rather than minting a duplicate.
+  EXPECT_EQ(flags.scheme, core::SchemeRegistry::FindByName("ptrenc+safestack"));
+}
+
+TEST(BenchFlagsDeathTest, SchemeFlagRejectsUnknownComponents) {
+  char a0[] = "bench";
+  char a1[] = "--scheme";
+  char a2[] = "cpi+no-such-scheme";
+  char* argv[] = {a0, a1, a2};
+  EXPECT_EXIT(Parse(3, argv), testing::ExitedWithCode(2),
+              "bad --scheme: unknown scheme 'no-such-scheme'");
+}
+
+TEST(BenchFlagsDeathTest, SchemeFlagRejectsWriteConflictingStacks) {
+  char a0[] = "bench";
+  char a1[] = "--scheme";
+  char a2[] = "cpi+cps";  // both rewrite pointer loads/stores and icalls
+  char* argv[] = {a0, a1, a2};
+  EXPECT_EXIT(Parse(3, argv), testing::ExitedWithCode(2), "bad --scheme: ");
+}
+
 TEST(BenchFlagsDeathTest, UnknownArgumentExitsNonZero) {
   char a0[] = "bench";
   char a1[] = "--job";  // the motivating typo

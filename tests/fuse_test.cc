@@ -74,6 +74,7 @@ TEST(FuseDifferentialTest, AllWorkloadsAllSchemesThreeTiers) {
     for (const ProtectionScheme* s : core::SchemeRegistry::All()) {
       Config config;
       config.protection = s->id();
+      config.scheme = s;  // composites run as composites, not their first part
       const std::string label = w.name + " / " + s->name();
       const RunResult fused = RunEngine(*built, config, w.input, EngineKind::kFused);
       const RunResult decoded = RunEngine(*built, config, w.input, EngineKind::kDecoded);
@@ -95,6 +96,7 @@ TEST(FuseDifferentialTest, OptLevelsAllSchemes) {
       for (int opt : {0, 1}) {
         Config config;
         config.protection = s->id();
+        config.scheme = s;
         config.opt_level = opt;
         const std::string label =
             w.name + " / " + s->name() + " / O" + std::to_string(opt);
@@ -138,6 +140,7 @@ TEST(FuseDifferentialTest, AttackMatrixAllSchemes) {
     for (const attacks::AttackSpec& spec : matrix) {
       Config config;
       config.protection = s->id();
+      config.scheme = s;
 
       config.engine = EngineKind::kFused;
       const attacks::AttackResult fused = attacks::RunAttack(spec, config);

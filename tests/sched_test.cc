@@ -225,6 +225,7 @@ TEST(SchedulerDeterminismTest, EnginesAndOptLevels) {
       for (int opt : {0, 1}) {
         Config config;
         config.protection = s->id();
+        config.scheme = s;  // composites run as composites, not their first part
         config.opt_level = opt;
 
         config.reference_interpreter = false;
@@ -345,6 +346,7 @@ TEST(CrossThreadAttackTest, MatrixVerdicts) {
   for (const ProtectionScheme* s : core::SchemeRegistry::All()) {
     Config config;
     config.protection = s->id();
+    config.scheme = s;
     const auto results = attacks::RunCrossThreadMatrix(config);
     ASSERT_EQ(results.size(), 2u);
     const attacks::AttackResult& ret_addr = results[0];
@@ -355,8 +357,15 @@ TEST(CrossThreadAttackTest, MatrixVerdicts) {
                                s->id() == Protection::kCfi;
     EXPECT_EQ(ret_addr.Hijacked(), expect_hijack) << s->name();
     EXPECT_FALSE(probe.Hijacked()) << s->name();
-    if (s->id() == Protection::kPtrEnc) {
-      EXPECT_EQ(ret_addr.violation, runtime::Violation::kPointerAuthFailure);
+    // Sealed return tokens abort the corruption as an authentication
+    // failure: plain PtrEnc and the standalone chained return MAC. (The
+    // ptrenc+safestack composite's safe stack moves the slot out of reach
+    // first, and cpi+ptrenc-ret-chain likewise never authenticates a
+    // corrupted token — their ret_addr rows are no-effect, not aborts.)
+    const std::string name = s->name();
+    if (name == "ptrenc" || name == "ptrenc-ret-chain") {
+      EXPECT_EQ(ret_addr.violation, runtime::Violation::kPointerAuthFailure)
+          << name;
     }
   }
 }
@@ -367,6 +376,7 @@ TEST(CrossThreadAttackTest, EngineDifferential) {
     for (const attacks::AttackSpec& spec : attacks::GenerateCrossThreadMatrix()) {
       Config config;
       config.protection = s->id();
+      config.scheme = s;
 
       config.reference_interpreter = false;
       const attacks::AttackResult decoded = attacks::RunAttack(spec, config);

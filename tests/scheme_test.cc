@@ -96,6 +96,21 @@ TEST(SchemeRegistryTest, OutOfTreeSchemeRunsThroughTheFacade) {
   EXPECT_EQ(r.output, base.output);
 }
 
+// Reporting names are the registry's lookup key (FindByName, --scheme,
+// composite specs), so a second scheme under a taken name would shadow or be
+// shadowed silently. Registration must die instead.
+class NameSquatterScheme final : public ProtectionScheme {
+ public:
+  Protection id() const override { return Protection::kNone; }
+  const char* name() const override { return "cpi"; }  // already taken
+  const char* description() const override { return "duplicate-name probe"; }
+};
+
+TEST(SchemeRegistryDeathTest, RegisteringADuplicateNameIsFatal) {
+  EXPECT_DEATH(SchemeRegistry::Register(std::make_unique<NameSquatterScheme>()),
+               "duplicate scheme name 'cpi'");
+}
+
 // --- PtrEnc ----------------------------------------------------------------
 
 TEST(PtrEncTest, TransparentOnEverySpecWorkload) {
